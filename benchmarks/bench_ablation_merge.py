@@ -1,0 +1,42 @@
+"""Ablation: how much each layout optimisation contributes.
+
+DESIGN.md calls out the greedy table merging (Section 6.2) as the key layout
+design choice.  This bench compares, for every application, the stages used
+by: (a) no optimisation at all, (b) merging without data-flow reordering, and
+(c) the full pipeline (branch inlining + reordering + merging).
+"""
+
+from repro.backend import MergeOptions, build_layout
+
+from conftest import print_table
+
+
+def _ablation_rows(compiled_apps):
+    rows = []
+    for key, compiled in compiled_apps.items():
+        info = compiled.checked.info
+        normalized = compiled.normalized
+        no_reorder = build_layout(info, normalized, options=MergeOptions(reorder=False))
+        full = compiled.layout
+        rows.append(
+            {
+                "app": key,
+                # the paper's unoptimised baseline: atomic tables on the
+                # longest code path (no merging, no reordering)
+                "no_opt": compiled.unoptimized_stages(),
+                "merge_only": no_reorder.num_stages(),
+                "full": full.num_stages(),
+            }
+        )
+    return rows
+
+
+def test_ablation_merge(benchmark, compiled_apps):
+    rows = benchmark(_ablation_rows, compiled_apps)
+    print_table("Ablation: layout optimisations", rows)
+    # The merge-only column shares the greedy placer but keeps program order,
+    # so it is informational; the guaranteed relations are full <= no_opt and
+    # a strict improvement for most applications.
+    for row in rows:
+        assert row["full"] <= row["no_opt"]
+    assert sum(1 for row in rows if row["full"] < row["no_opt"]) >= 6

@@ -1,0 +1,40 @@
+"""Figure 9: lines of code and Tofino stages for the ten applications.
+
+Paper columns: Lucid LoC, P4 LoC, Tofino stages.  Here: Lucid LoC of our
+application sources, LoC of the baseline-style P4 the compiler emits for them,
+and the stages used by the optimised layout.  The paper's own numbers are
+printed alongside for comparison.
+"""
+
+from repro.apps import ALL_APPLICATIONS
+
+from conftest import print_table
+
+
+def _figure9_rows(compiled_apps):
+    rows = []
+    for key, compiled in compiled_apps.items():
+        app = ALL_APPLICATIONS[key]
+        rows.append(
+            {
+                "app": key,
+                "lucid_loc": compiled.lucid_loc(),
+                "p4_loc": compiled.naive_p4_loc(),
+                "loc_ratio": round(compiled.naive_p4_loc() / compiled.lucid_loc(), 1),
+                "stages": compiled.stages(),
+                "paper_lucid_loc": app.paper_lucid_loc,
+                "paper_p4_loc": app.paper_p4_loc,
+                "paper_stages": app.paper_stages,
+            }
+        )
+    return rows
+
+
+def test_fig09_applications(benchmark, compiled_apps):
+    rows = benchmark(_figure9_rows, compiled_apps)
+    print_table("Figure 9: applications (measured vs paper)", rows)
+    # shape checks: Lucid is much smaller than P4, and every app fits a
+    # plausible number of stages
+    assert all(r["loc_ratio"] >= 5 for r in rows)
+    assert all(2 <= r["stages"] <= 16 for r in rows)
+    assert len(rows) == 10

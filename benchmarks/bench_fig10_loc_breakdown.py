@@ -1,0 +1,23 @@
+"""Figure 10: breakdown of the P4 code by component, versus the Lucid program.
+
+The paper's bar chart splits each application's P4 into actions, register
+actions, tables, headers, and parsers, and shows that the whole Lucid program
+is often smaller than the register actions alone.
+"""
+
+from repro.analysis.loc import breakdown_for_compiled
+
+from conftest import print_table
+
+
+def _figure10_rows(compiled_apps):
+    return [breakdown_for_compiled(compiled).as_row() for compiled in compiled_apps.values()]
+
+
+def test_fig10_loc_breakdown(benchmark, compiled_apps):
+    rows = benchmark(_figure10_rows, compiled_apps)
+    print_table("Figure 10: P4 lines of code by component", rows)
+    assert all(row["p4_total"] > row["lucid_loc"] for row in rows)
+    # tables and actions dominate the generated P4, as in the paper
+    for row in rows:
+        assert row["p4_tables"] + row["p4_actions"] + row["p4_register_actions"] > row["p4_total"] / 3

@@ -1,0 +1,34 @@
+"""Figure 11: development time for a student new to the Tofino.
+
+This is a human study (25-40 minutes per application) and cannot be reproduced
+in code.  As a proxy, this bench reports the size of the Lucid sources for the
+same four applications (NAT, RIP, DFW, DFW+aging) and the time the *compiler*
+needs to take each of them from source to P4 — the part of the workflow this
+repository can measure.
+"""
+
+from repro.apps import ALL_APPLICATIONS
+
+from conftest import print_table
+
+FIG11_APPS = ["NAT", "RIP", "DFW", "DFW(a)"]
+PAPER_DEV_TIME_MIN = {"NAT": 25, "RIP": 40, "DFW": 25, "DFW(a)": 55}
+
+
+def _compile_fig11_apps():
+    return {key: ALL_APPLICATIONS[key].compile() for key in FIG11_APPS}
+
+
+def test_fig11_devtime_proxy(benchmark):
+    compiled = benchmark(_compile_fig11_apps)
+    rows = [
+        {
+            "app": key,
+            "lucid_loc": compiled[key].lucid_loc(),
+            "paper_dev_time_min": PAPER_DEV_TIME_MIN[key],
+        }
+        for key in FIG11_APPS
+    ]
+    print_table("Figure 11 (proxy): application size vs reported dev time", rows)
+    # the prototypes the student wrote in <1 hour are all small programs
+    assert all(row["lucid_loc"] <= 150 for row in rows)

@@ -1,0 +1,32 @@
+"""Figure 12: optimised vs unoptimised stage count per application.
+
+The paper reports the ratio of the unoptimised stage requirement (atomic
+tables on the longest code path) to the optimised layout's stage count:
+1.5-4x for most applications, larger for the complex ones.
+"""
+
+from conftest import print_table
+
+
+def _figure12_rows(compiled_apps):
+    rows = []
+    for key, compiled in compiled_apps.items():
+        rows.append(
+            {
+                "app": key,
+                "unoptimized_stages": compiled.unoptimized_stages(),
+                "optimized_stages": compiled.stages(),
+                "ratio": round(compiled.stage_ratio(), 2),
+            }
+        )
+    return rows
+
+
+def test_fig12_stage_ratio(benchmark, compiled_apps):
+    rows = benchmark(_figure12_rows, compiled_apps)
+    print_table("Figure 12: optimised vs unoptimised stages", rows)
+    ratios = [row["ratio"] for row in rows]
+    assert all(r >= 1.0 for r in ratios)
+    # most applications benefit noticeably from the optimisations
+    assert sum(1 for r in ratios if r >= 1.4) >= 6
+    assert max(ratios) >= 2.5

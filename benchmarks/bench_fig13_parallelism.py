@@ -1,0 +1,30 @@
+"""Figure 13: ALU instructions (Lucid statements) mapped per pipeline stage.
+
+The paper reports 2-13 instructions per stage across the applications,
+showing that the compiler finds and exploits instruction-level parallelism.
+"""
+
+from conftest import print_table
+
+
+def _figure13_rows(compiled_apps):
+    rows = []
+    for key, compiled in compiled_apps.items():
+        per_stage = compiled.alu_instructions_per_stage()
+        rows.append(
+            {
+                "app": key,
+                "max_per_stage": max(per_stage),
+                "mean_per_stage": round(sum(per_stage) / len(per_stage), 1),
+                "per_stage": per_stage,
+            }
+        )
+    return rows
+
+
+def test_fig13_parallelism(benchmark, compiled_apps):
+    rows = benchmark(_figure13_rows, compiled_apps)
+    print_table("Figure 13: ALU instructions per stage", rows)
+    assert all(row["max_per_stage"] >= 2 for row in rows)
+    assert max(row["max_per_stage"] for row in rows) >= 6
+    assert all(row["max_per_stage"] <= 20 for row in rows)

@@ -1,0 +1,28 @@
+"""Figure 15: how the applications use recirculation.
+
+The paper's table groups recirculation uses into data-structure maintenance,
+flow setup, and state synchronisation, and lists which applications exercise
+each.  Here the classification is derived automatically from the compiled
+programs (which handlers re-generate their own event with a delay, which
+generate install-style events, which send events to other switches).
+"""
+
+from repro.analysis.recirc_uses import recirc_uses_table
+
+from conftest import print_table
+
+
+def test_fig15_recirc_uses(benchmark, compiled_apps):
+    rows = benchmark(recirc_uses_table, compiled_apps)
+    print_table("Figure 15: recirculation uses", rows)
+    by_use = {row["use"]: row["applications"] for row in rows}
+    maintenance = by_use["Data struct. maintenance"]
+    setup = by_use["Flow setup"]
+    sync = by_use["State synchronization"]
+    # the paper's assignments that our classifier must agree on
+    for app in ("SFW", "RR", "DNS", "CM"):
+        assert app in maintenance
+    for app in ("SFW", "NAT", "*Flow"):
+        assert app in setup
+    for app in ("SRO", "DFW"):
+        assert app in sync

@@ -1,0 +1,31 @@
+"""Figure 16: modeled worst-case recirculation overhead of the stateful
+firewall (N = 2^16 entries, timeout-check interval i = 100 ms) at 10K, 100K
+and 1M new flows per second.
+
+Paper rows: recirc rate 815K / 2M / 16M pkts/s, pipeline utilisation
+0.08% / 0.22% / 1.66%, minimum line-rate packet size 125.26 / 125.55 / 127.67 B.
+"""
+
+import pytest
+
+from repro.analysis import firewall_overhead_table
+
+from conftest import print_table
+
+
+def test_fig16_recirc_model(benchmark):
+    points = benchmark(firewall_overhead_table)
+    rows = [p.as_row() for p in points]
+    for row in rows:
+        row["pipeline_utilization_pct"] = round(row["pipeline_utilization_pct"], 3)
+        row["min_pkt_size_bytes"] = round(row["min_pkt_size_bytes"], 2)
+    print_table("Figure 16: stateful firewall recirculation model", rows)
+
+    by_rate = {int(p.flow_rate_per_s): p for p in points}
+    assert by_rate[10_000].recirc_rate_pps == pytest.approx(815_360, rel=0.01)
+    assert by_rate[100_000].recirc_rate_pps == pytest.approx(2_255_360, rel=0.01)
+    assert by_rate[1_000_000].recirc_rate_pps == pytest.approx(16_655_360, rel=0.01)
+    assert by_rate[10_000].pipeline_utilisation * 100 == pytest.approx(0.08, abs=0.01)
+    assert by_rate[1_000_000].pipeline_utilisation * 100 == pytest.approx(1.67, abs=0.1)
+    # minimum packet size stays close to the unloaded 125 B even at 1M flows/s
+    assert 125.0 <= by_rate[1_000_000].min_packet_size_bytes <= 128.5

@@ -1,0 +1,68 @@
+"""Figure 17: stateful-firewall flow-installation time, data-plane integrated
+control (Lucid) versus remote control from the switch CPU (Mantis baseline).
+
+Paper: 1000 trials on a 2048-element table at load factor 0.3125; average
+data-plane install time 49 ns (over 90% of flows install during their first
+packet's pass, most of the rest in one ~600 ns recirculation, worst case
+~2.4 us), versus at least 12 us / on average 17.5 us for remote control —
+over 300x slower.
+"""
+
+import statistics
+
+from repro.apps.stateful_firewall import FirewallExperiment
+from repro.workloads import FlowWorkload
+
+from conftest import print_table
+
+# 2 tables x 1024 slots = 2048 elements; 640 flows -> load factor 0.3125
+TABLE_SLOTS = 1024
+NUM_FLOWS = 640
+
+
+def _run_experiment():
+    experiment = FirewallExperiment(table_slots=TABLE_SLOTS)
+    workload = FlowWorkload.generate(num_flows=NUM_FLOWS, flow_rate_per_s=100_000, seed=17)
+    data_plane = experiment.run_data_plane(workload)
+    remote = experiment.run_remote_control(workload)
+    return data_plane, remote
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_fig17_firewall_install(benchmark):
+    data_plane, remote = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    dp = [m.latency_ns for m in data_plane]
+    rc = [m.latency_ns for m in remote]
+    rows = [
+        {
+            "control": "integrated (Lucid)",
+            "mean": f"{statistics.mean(dp):.0f} ns",
+            "p50": f"{_percentile(dp, 0.5)} ns",
+            "p90": f"{_percentile(dp, 0.9)} ns",
+            "max": f"{max(dp)} ns",
+        },
+        {
+            "control": "remote (baseline)",
+            "mean": f"{statistics.mean(rc)/1000:.1f} us",
+            "p50": f"{_percentile(rc, 0.5)/1000:.1f} us",
+            "p90": f"{_percentile(rc, 0.9)/1000:.1f} us",
+            "max": f"{max(rc)/1000:.1f} us",
+        },
+    ]
+    print_table("Figure 17: flow installation time", rows)
+
+    zero_fraction = sum(1 for l in dp if l == 0) / len(dp)
+    speedup = statistics.mean(rc) / max(1.0, statistics.mean(dp))
+    print(f"flows installed during the first packet's pass: {zero_fraction*100:.1f}%")
+    print(f"integrated-control speedup: {speedup:.0f}x")
+
+    assert statistics.mean(dp) < 200          # paper: 49 ns average
+    assert zero_fraction > 0.9                # paper: >90% at 0 ns
+    assert max(dp) <= 2_400                   # paper: worst case ~2.4 us
+    assert min(rc) >= 12_000                  # paper: >=12 us
+    assert 15_000 <= statistics.mean(rc) <= 22_000  # paper: 17.5 us average
+    assert speedup > 300                      # paper: over 300x

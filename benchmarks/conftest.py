@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 7).  The benchmarks print the rows/series they reproduce, so running
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduced evaluation
+alongside pytest-benchmark's timing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ALL_APPLICATIONS
+
+
+@pytest.fixture(scope="session")
+def compiled_apps():
+    """All ten Figure 9 applications, compiled once per session."""
+    return {key: app.compile(emit_naive_p4=True) for key, app in ALL_APPLICATIONS.items()}
+
+
+def print_table(title, rows):
+    """Render a list of dict rows as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    widths = {h: max(len(str(h)), max(len(str(r[h])) for r in rows)) for h in headers}
+    print("  ".join(str(h).ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(str(row[h]).ljust(widths[h]) for h in headers))

@@ -1,0 +1,11 @@
+"""Reproduction of "Lucid: a language for control in the data plane" (SIGCOMM 2021).
+
+The top-level package exposes the most commonly used entry points; see
+:mod:`repro.core` for the full public API.
+"""
+
+__version__ = "1.0.0"
+
+from repro.frontend import check_program, parse_program  # noqa: F401
+
+__all__ = ["check_program", "parse_program", "__version__"]

@@ -1,0 +1,42 @@
+"""Common infrastructure for the example applications (Figure 9).
+
+Every application module defines a Lucid source program plus a small Python
+driver that knows how to exercise it in the interpreter.  The
+:class:`Application` record ties the pieces together and is what the
+benchmarks iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.backend.compiler import CompiledProgram, CompilerOptions, compile_program
+
+
+@dataclass(frozen=True)
+class Application:
+    """One data-plane application with integrated control."""
+
+    #: short key used in tables (e.g. "SFW")
+    key: str
+    #: human readable name (Figure 9's "Application" column)
+    name: str
+    #: one-line description
+    description: str
+    #: the role of control events, as bolded in Figure 9
+    control_role: str
+    #: Lucid source text
+    source: str
+    #: the Lucid LoC / Tofino stage numbers reported in Figure 9 of the paper
+    paper_lucid_loc: int = 0
+    paper_p4_loc: int = 0
+    paper_stages: int = 0
+
+    def compile(
+        self, options: Optional[CompilerOptions] = None, emit_naive_p4: bool = True
+    ) -> CompiledProgram:
+        """Compile this application with the Lucid compiler."""
+        if options is None:
+            options = CompilerOptions(emit_naive_p4=emit_naive_p4)
+        return compile_program(self.source, name=self.key, options=options)

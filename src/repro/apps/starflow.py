@@ -1,0 +1,90 @@
+"""*Flow — a telemetry cache that batches per-flow packet records (SF).
+
+Packets append a compact record (timestamp, size) to a per-flow slot in a
+cache.  When a new flow collides with a cached one, the old flow's batch is
+evicted to the telemetry collector and its memory is handed to the new flow.
+Control events perform the eviction and the memory allocation, exactly the
+split described for *Flow in the paper's Figure 9.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application
+
+SOURCE = r"""
+// *Flow-style telemetry cache: batch per-flow records, evict on collision.
+symbolic size CACHE_SLOTS = 1024;
+const int BATCH_LIMIT = 8;
+const int COLLECTOR = 9;
+const int SEED = 77;
+
+global slot_key = new Array<<32>>(CACHE_SLOTS);
+global slot_count = new Array<<32>>(CACHE_SLOTS);
+global slot_bytes = new Array<<32>>(CACHE_SLOTS);
+global slot_start = new Array<<32>>(CACHE_SLOTS);
+global free_head = new Array<<32>>(4);
+
+memop keep(int stored, int unused) { return stored; }
+memop overwrite(int stored, int newval) { return newval; }
+memop plus(int stored, int x) { return stored + x; }
+memop zero(int stored, int unused) { return 0; }
+memop bump(int stored, int x) { return stored + x; }
+
+event pkt(int src, int dst, int len);
+event evict_slot(int idx, int oldkey);
+event export_batch(int key, int count, int bytes, int start);
+event alloc_slot(int idx, int key);
+
+fun int cache_index(int src, int dst) {
+  return hash<<10>>(src, dst, SEED);
+}
+
+// Data path: append the packet's record to its flow's cache slot.
+handle pkt(int src, int dst, int len) {
+  int key = hash<<32>>(src, dst, SEED);
+  int idx = cache_index(src, dst);
+  int old = Array.update(slot_key, idx, keep, 0, overwrite, key);
+  if (old == key || old == 0) {
+    // the flow already owns the slot (or it was free): extend the batch
+    int count = Array.update(slot_count, idx, plus, 1, plus, 1);
+    Array.set(slot_bytes, idx, plus, len);
+    if (count >= BATCH_LIMIT) {
+      generate evict_slot(idx, key);
+    }
+  } else {
+    // collision: evict the previous flow's batch, then allocate for ours
+    generate evict_slot(idx, old);
+    generate alloc_slot(idx, key);
+  }
+  forward(1);
+}
+
+// Control: eviction reads out the batch and ships it to the collector.
+handle evict_slot(int idx, int oldkey) {
+  int count = Array.update(slot_count, idx, keep, 0, zero, 0);
+  int bytes = Array.update(slot_bytes, idx, keep, 0, zero, 0);
+  int start = Array.update(slot_start, idx, keep, 0, zero, 0);
+  event record = export_batch(oldkey, count, bytes, start);
+  generate Event.locate(record, COLLECTOR);
+}
+
+// Control: allocation initialises the slot for the new flow.
+handle alloc_slot(int idx, int key) {
+  Array.set(slot_count, idx, overwrite, 1);
+  Array.set(slot_bytes, idx, overwrite, 0);
+  Array.set(slot_start, idx, overwrite, Sys.time());
+  Array.set(free_head, 0, bump, 1);
+}
+"""
+
+APP = Application(
+    key="*Flow",
+    name="*Flow Telemetry Cache",
+    description="Batches packet tuples by flow to accelerate analytics; "
+    "control events allocate memory and evict batches.",
+    control_role="Control events allocate memory",
+    source=SOURCE,
+    paper_lucid_loc=149,
+    paper_p4_loc=1927,
+    paper_stages=12,
+)

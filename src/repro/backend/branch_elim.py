@@ -1,0 +1,71 @@
+"""Branch-table elimination by condition inlining (Section 6.2, Figure 6(2)).
+
+Branch tables are wasteful in the atomic-table representation because their
+successors must be placed in a later stage.  The compiler eliminates them by
+making each non-branch table check the conditions necessary for its own
+execution using static match-action rules, then deleting the branch tables.
+
+For a table reachable along several control paths (for example a table after
+an ``if``/``else`` join), only the conditions common to *all* paths are kept —
+a table after a join executes unconditionally, as in the paper's example where
+``pcts_fset`` runs on every path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.backend.tables import AtomicTable, TableGraph, TableKind
+from repro.midend.normalize import NCond
+
+
+def _cond_key(cond: NCond) -> Tuple:
+    return (cond.lhs, cond.op, cond.rhs)
+
+
+def compute_path_conditions(graph: TableGraph) -> Dict[int, List[NCond]]:
+    """For every non-branch table, compute the conditions common to all control
+    paths that reach it."""
+    # collected[uid] = list of path-condition lists (one per distinct path)
+    collected: Dict[int, List[List[NCond]]] = {}
+
+    def visit(uid: int, conditions: List[NCond], depth: int) -> None:
+        table = graph.by_uid(uid)
+        if table.kind is TableKind.BRANCH:
+            for succ, label in graph.edges.get(uid, []):
+                cond = table.condition
+                assert cond is not None
+                branch_cond = cond if label == "true" else cond.negate()
+                visit(succ, conditions + [branch_cond], depth + 1)
+            return
+        collected.setdefault(uid, []).append(list(conditions))
+        for succ, _ in graph.edges.get(uid, []):
+            visit(succ, conditions, depth + 1)
+
+    for root in graph.roots:
+        visit(root, [], 0)
+
+    result: Dict[int, List[NCond]] = {}
+    for uid, paths in collected.items():
+        if not paths:
+            result[uid] = []
+            continue
+        # keep only conditions present on every path (order of first path)
+        common_keys = set(_cond_key(c) for c in paths[0])
+        for path in paths[1:]:
+            common_keys &= {_cond_key(c) for c in path}
+        result[uid] = [c for c in paths[0] if _cond_key(c) in common_keys]
+    return result
+
+
+def inline_branch_conditions(graph: TableGraph) -> List[AtomicTable]:
+    """Annotate non-branch tables with their path conditions and return them in
+    program order with branch tables removed (Figure 6(2))."""
+    conditions = compute_path_conditions(graph)
+    ordered: List[AtomicTable] = []
+    for table in graph.tables:
+        if table.kind is TableKind.BRANCH:
+            continue
+        table.path_conditions = conditions.get(table.uid, [])
+        ordered.append(table)
+    return ordered

@@ -1,0 +1,10 @@
+"""The remote-control baseline (Mantis-style) used by the stateful-firewall
+case study (Section 7.4)."""
+
+from repro.control.remote_controller import (
+    ControlPlaneConfig,
+    InstallRecord,
+    RemoteController,
+)
+
+__all__ = ["RemoteController", "ControlPlaneConfig", "InstallRecord"]

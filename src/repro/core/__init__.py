@@ -1,0 +1,108 @@
+"""The public API of the Lucid reproduction.
+
+Typical usage::
+
+    from repro.core import compile_program, check_program, Network, EventInstance
+
+    compiled = compile_program(open("firewall.lucid").read(), name="firewall")
+    print(compiled.stages(), "pipeline stages")
+    print(compiled.p4.full_text())
+
+    network, switch = single_switch_network(compiled.checked)
+    network.inject(0, EventInstance("pkt_out", (1, 2)))
+    network.run()
+
+The submodules group the functionality the same way the paper does:
+
+* :mod:`repro.frontend` — parsing, memop checks, the ordered type system;
+* :mod:`repro.backend`  — the optimising compiler and P4 generation;
+* :mod:`repro.interp`   — the interpreter and multi-switch simulation;
+* :mod:`repro.pisa`     — the PISA/Tofino hardware substrate models;
+* :mod:`repro.apps`     — the ten applications of Figure 9;
+* :mod:`repro.analysis`, :mod:`repro.workloads`, :mod:`repro.control` — the
+  evaluation's models, workload generators, and the remote-control baseline;
+* :mod:`repro.formal`   — the Appendix A core calculus.
+"""
+
+from repro.apps import ALL_APPLICATIONS, Application, FirewallExperiment
+from repro.backend import (
+    CompiledProgram,
+    CompilerOptions,
+    MergeOptions,
+    P4Program,
+    PipelineLayout,
+    TofinoModel,
+    compile_program,
+    count_lucid_loc,
+    generate_p4,
+)
+from repro.control import ControlPlaneConfig, RemoteController
+from repro.errors import (
+    LayoutError,
+    LexError,
+    LucidError,
+    MemopError,
+    OrderError,
+    ParseError,
+    TypeError_,
+)
+from repro.frontend import CheckedProgram, check_program, parse_program
+from repro.interp import (
+    EventInstance,
+    HandlerInterpreter,
+    Network,
+    RuntimeArray,
+    SchedulerConfig,
+    Switch,
+    SwitchRuntime,
+    lucid_hash,
+    single_switch_network,
+)
+from repro.pisa import PisaPipeline, simulate_concurrent_delays
+from repro.workloads import DnsTrafficMix, FlowWorkload, LinkFailureSchedule
+
+__all__ = [
+    # language frontend
+    "parse_program",
+    "check_program",
+    "CheckedProgram",
+    # compiler
+    "compile_program",
+    "CompilerOptions",
+    "CompiledProgram",
+    "MergeOptions",
+    "PipelineLayout",
+    "P4Program",
+    "TofinoModel",
+    "generate_p4",
+    "count_lucid_loc",
+    # interpreter / simulation
+    "Network",
+    "Switch",
+    "SwitchRuntime",
+    "HandlerInterpreter",
+    "EventInstance",
+    "RuntimeArray",
+    "SchedulerConfig",
+    "single_switch_network",
+    "lucid_hash",
+    "PisaPipeline",
+    "simulate_concurrent_delays",
+    # applications and evaluation support
+    "ALL_APPLICATIONS",
+    "Application",
+    "FirewallExperiment",
+    "RemoteController",
+    "ControlPlaneConfig",
+    "FlowWorkload",
+    "DnsTrafficMix",
+    "LinkFailureSchedule",
+    # errors
+    "LucidError",
+    "LexError",
+    "ParseError",
+    "MemopError",
+    "TypeError_",
+    "OrderError",
+    "LayoutError",
+]

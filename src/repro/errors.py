@@ -1,0 +1,105 @@
+"""Diagnostics for the Lucid reproduction.
+
+The paper stresses *source-level* programmer feedback: memop violations and
+ordering errors must point at the exact line and column where the mistake was
+made (Sections 4 and 5).  Every compiler error in this repository therefore
+carries a :class:`~repro.frontend.source.Span` and renders a caret-annotated
+snippet of the offending source.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.frontend.source import Span
+
+
+class LucidError(Exception):
+    """Base class for every user-facing error raised by this library."""
+
+    #: short category name used in rendered messages, e.g. ``"type error"``.
+    category = "error"
+
+    def __init__(self, message: str, span: Optional["Span"] = None):
+        super().__init__(message)
+        self.message = message
+        self.span = span
+
+    def render(self) -> str:
+        """Return a human-readable, source-annotated error message."""
+        header = f"{self.category}: {self.message}"
+        if self.span is None:
+            return header
+        return f"{header}\n{self.span.render()}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+class LexError(LucidError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+    category = "lex error"
+
+
+class ParseError(LucidError):
+    """Raised when the parser encounters an unexpected token."""
+
+    category = "parse error"
+
+
+class MemopError(LucidError):
+    """Raised when a memop violates the single-sALU syntactic restrictions.
+
+    Section 4.2: a memop body must be a single ``return`` or an ``if`` with one
+    ``return`` per branch, each variable may be used at most once per
+    expression, and only ALU-supported operators are allowed.
+    """
+
+    category = "memop error"
+
+
+class TypeError_(LucidError):
+    """Raised on ordinary typing violations (arity, base-type mismatch...)."""
+
+    category = "type error"
+
+
+class OrderError(LucidError):
+    """Raised when a handler accesses global state out of declaration order.
+
+    Section 5: the order of ``global`` declarations is a specification of the
+    pipeline layout; handlers must access globals in non-decreasing stage
+    order.  The error message names both conflicting accesses.
+    """
+
+    category = "ordering error"
+
+
+class ConstError(LucidError):
+    """Raised when compile-time constant evaluation fails."""
+
+    category = "constant error"
+
+
+class LayoutError(LucidError):
+    """Raised when the backend cannot place a program in the target pipeline.
+
+    Unlike the Tofino backend's opaque "table placement cannot make any more
+    progress", this error names the table and resource that did not fit.
+    """
+
+    category = "layout error"
+
+
+class InterpError(LucidError):
+    """Raised on a runtime fault inside the Lucid interpreter."""
+
+    category = "runtime error"
+
+
+class SimulationError(LucidError):
+    """Raised on an invalid configuration of the PISA/network simulator."""
+
+    category = "simulation error"

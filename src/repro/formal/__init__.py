@@ -1,0 +1,47 @@
+"""The formal core calculus of Appendix A/B: a toy ML-like language with the
+ordered type-and-effect system, its small-step operational semantics, and the
+machinery used by the soundness property tests."""
+
+from repro.formal.calculus import (
+    App,
+    Deref,
+    Fun,
+    GlobalVar,
+    IntLit,
+    Let,
+    Plus,
+    State,
+    TFun,
+    TInt,
+    TRef,
+    TUnit,
+    TypeCheckError,
+    UnitLit,
+    Update,
+    Var,
+    step,
+    run,
+    typecheck,
+)
+
+__all__ = [
+    "IntLit",
+    "UnitLit",
+    "Var",
+    "GlobalVar",
+    "Plus",
+    "Let",
+    "Deref",
+    "Update",
+    "Fun",
+    "App",
+    "TInt",
+    "TUnit",
+    "TRef",
+    "TFun",
+    "State",
+    "typecheck",
+    "step",
+    "run",
+    "TypeCheckError",
+]

@@ -1,0 +1,361 @@
+"""The toy language and ordered type-and-effect system of Appendix A/B.
+
+The appendix defines a minimal ML-like calculus with:
+
+* base types ``Unit`` and ``Int``;
+* a predefined, *ordered* set of global variables ``g_0 .. g_{n-1}``, each of
+  base type, behaving like OCaml ``ref`` cells;
+* expressions: values, variables, addition, ``let``, dereference ``!e``,
+  update ``e := e``, and function application;
+* a typing judgement ``Γ, ε₁ ⊢ e : τ, ε₂`` in which effects are *stages*:
+  global ``g_i`` may only be accessed when the current stage is at most ``i``,
+  and the access moves the stage to ``i + 1``;
+* a small-step operational semantics over states ``(G, n, e)`` where ``G`` is
+  the store and ``n`` the index of the next accessible global.
+
+The soundness theorem ("well-typed programs do not get stuck") is exercised by
+property-based tests in ``tests/test_formal_calculus.py``: for every randomly
+generated well-typed program, evaluation reaches a value without raising
+:class:`StuckError`, and every intermediate state remains well-typed
+(progress + preservation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# types
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TInt:
+    def __str__(self) -> str:
+        return "Int"
+
+
+@dataclass(frozen=True)
+class TUnit:
+    def __str__(self) -> str:
+        return "Unit"
+
+
+@dataclass(frozen=True)
+class TRef:
+    """``ref(T, i)`` — the type of global variable ``g_i``."""
+
+    base: Union[TInt, TUnit]
+    stage: int
+
+    def __str__(self) -> str:
+        return f"ref({self.base}, {self.stage})"
+
+
+@dataclass(frozen=True)
+class TFun:
+    """``(τ_in, ε_in) -> (τ_out, ε_out)``."""
+
+    t_in: "Type"
+    e_in: int
+    t_out: "Type"
+    e_out: int
+
+    def __str__(self) -> str:
+        return f"({self.t_in}, {self.e_in}) -> ({self.t_out}, {self.e_out})"
+
+
+Type = Union[TInt, TUnit, TRef, TFun]
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class UnitLit:
+    pass
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    """``g_i`` — a reference to the i-th ordered global."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Plus:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Let:
+    name: str
+    bound: "Expr"
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class Deref:
+    """``!e`` — read a global."""
+
+    ref: "Expr"
+
+
+@dataclass(frozen=True)
+class Update:
+    """``ref := value`` — write a global."""
+
+    ref: "Expr"
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class Fun:
+    """``fun (x : τ, ε_in) -> e``."""
+
+    param: str
+    param_type: Type
+    e_in: int
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class App:
+    func: "Expr"
+    arg: "Expr"
+
+
+Expr = Union[IntLit, UnitLit, Var, GlobalVar, Plus, Let, Deref, Update, Fun, App]
+
+
+def is_value(expr: Expr) -> bool:
+    return isinstance(expr, (IntLit, UnitLit, GlobalVar, Fun))
+
+
+# ---------------------------------------------------------------------------
+# typing
+# ---------------------------------------------------------------------------
+class TypeCheckError(Exception):
+    """Raised when an expression does not typecheck."""
+
+
+def _global_types(global_types: Sequence[Union[TInt, TUnit]]) -> List[Union[TInt, TUnit]]:
+    return list(global_types)
+
+
+def typecheck(
+    expr: Expr,
+    stage: int = 0,
+    env: Optional[Dict[str, Type]] = None,
+    global_types: Sequence[Union[TInt, TUnit]] = (),
+) -> Tuple[Type, int]:
+    """Implementation of the typing judgement ``Γ, ε₁ ⊢ e : τ, ε₂``.
+
+    Returns ``(τ, ε₂)`` or raises :class:`TypeCheckError`.
+    """
+    env = env or {}
+    globals_ = _global_types(global_types)
+
+    if isinstance(expr, IntLit):
+        return TInt(), stage
+    if isinstance(expr, UnitLit):
+        return TUnit(), stage
+    if isinstance(expr, GlobalVar):
+        if expr.index < 0 or expr.index >= len(globals_):
+            raise TypeCheckError(f"global g{expr.index} does not exist")
+        return TRef(globals_[expr.index], expr.index), stage
+    if isinstance(expr, Var):
+        if expr.name not in env:
+            raise TypeCheckError(f"unbound variable {expr.name}")
+        return env[expr.name], stage
+    if isinstance(expr, Plus):
+        t1, e1 = typecheck(expr.left, stage, env, globals_)
+        if not isinstance(t1, TInt):
+            raise TypeCheckError("left operand of + must be Int")
+        t2, e2 = typecheck(expr.right, e1, env, globals_)
+        if not isinstance(t2, TInt):
+            raise TypeCheckError("right operand of + must be Int")
+        return TInt(), e2
+    if isinstance(expr, Let):
+        t1, e1 = typecheck(expr.bound, stage, env, globals_)
+        new_env = dict(env)
+        new_env[expr.name] = t1
+        return typecheck(expr.body, e1, new_env, globals_)
+    if isinstance(expr, Deref):
+        t, e = typecheck(expr.ref, stage, env, globals_)
+        if not isinstance(t, TRef):
+            raise TypeCheckError("dereference of a non-reference")
+        if e > t.stage:
+            raise TypeCheckError(
+                f"global g{t.stage} accessed at stage {e}: accesses must follow "
+                "declaration order"
+            )
+        return t.base, t.stage + 1
+    if isinstance(expr, Update):
+        t_val, e1 = typecheck(expr.value, stage, env, globals_)
+        t_ref, e2 = typecheck(expr.ref, e1, env, globals_)
+        if not isinstance(t_ref, TRef):
+            raise TypeCheckError("update of a non-reference")
+        if type(t_val) is not type(t_ref.base):
+            raise TypeCheckError("updated value has the wrong type")
+        if e2 > t_ref.stage:
+            raise TypeCheckError(
+                f"global g{t_ref.stage} updated at stage {e2}: accesses must follow "
+                "declaration order"
+            )
+        return TUnit(), t_ref.stage + 1
+    if isinstance(expr, Fun):
+        new_env = dict(env)
+        new_env[expr.param] = expr.param_type
+        t_out, e_out = typecheck(expr.body, expr.e_in, new_env, globals_)
+        return TFun(expr.param_type, expr.e_in, t_out, e_out), stage
+    if isinstance(expr, App):
+        t_fun, e1 = typecheck(expr.func, stage, env, globals_)
+        if not isinstance(t_fun, TFun):
+            raise TypeCheckError("application of a non-function")
+        t_arg, e2 = typecheck(expr.arg, e1, env, globals_)
+        if not _types_equal(t_arg, t_fun.t_in):
+            raise TypeCheckError("argument type mismatch")
+        if e2 > t_fun.e_in:
+            raise TypeCheckError(
+                f"function requires starting stage <= {t_fun.e_in} but the current stage is {e2}"
+            )
+        return t_fun.t_out, t_fun.e_out
+    raise TypeCheckError(f"unknown expression {expr!r}")
+
+
+def _types_equal(a: Type, b: Type) -> bool:
+    return a == b
+
+
+# ---------------------------------------------------------------------------
+# operational semantics
+# ---------------------------------------------------------------------------
+class StuckError(Exception):
+    """Raised when no evaluation rule applies to a non-value expression."""
+
+
+@dataclass
+class State:
+    """An evaluation state ``(G, n, e)``."""
+
+    store: List[int]
+    next_stage: int
+    expr: Expr
+
+
+def _subst(expr: Expr, name: str, value: Expr) -> Expr:
+    """Capture-avoiding substitution ``expr[value/name]`` (values are closed)."""
+    if isinstance(expr, Var):
+        return value if expr.name == name else expr
+    if isinstance(expr, (IntLit, UnitLit, GlobalVar)):
+        return expr
+    if isinstance(expr, Plus):
+        return Plus(_subst(expr.left, name, value), _subst(expr.right, name, value))
+    if isinstance(expr, Let):
+        bound = _subst(expr.bound, name, value)
+        if expr.name == name:
+            return Let(expr.name, bound, expr.body)
+        return Let(expr.name, bound, _subst(expr.body, name, value))
+    if isinstance(expr, Deref):
+        return Deref(_subst(expr.ref, name, value))
+    if isinstance(expr, Update):
+        return Update(_subst(expr.ref, name, value), _subst(expr.value, name, value))
+    if isinstance(expr, Fun):
+        if expr.param == name:
+            return expr
+        return Fun(expr.param, expr.param_type, expr.e_in, _subst(expr.body, name, value))
+    if isinstance(expr, App):
+        return App(_subst(expr.func, name, value), _subst(expr.arg, name, value))
+    raise AssertionError(f"unknown expression {expr!r}")
+
+
+def step(state: State) -> State:
+    """One small step of the operational semantics (Figure 20)."""
+    store, n, expr = state.store, state.next_stage, state.expr
+    if is_value(expr):
+        raise StuckError("values do not step")
+
+    if isinstance(expr, Plus):
+        if not is_value(expr.left):
+            s = step(State(store, n, expr.left))
+            return State(s.store, s.next_stage, Plus(s.expr, expr.right))
+        if not is_value(expr.right):
+            s = step(State(store, n, expr.right))
+            return State(s.store, s.next_stage, Plus(expr.left, s.expr))
+        if isinstance(expr.left, IntLit) and isinstance(expr.right, IntLit):
+            return State(store, n, IntLit(expr.left.value + expr.right.value))
+        raise StuckError("+ applied to non-integers")
+
+    if isinstance(expr, Let):
+        if not is_value(expr.bound):
+            s = step(State(store, n, expr.bound))
+            return State(s.store, s.next_stage, Let(expr.name, s.expr, expr.body))
+        return State(store, n, _subst(expr.body, expr.name, expr.bound))
+
+    if isinstance(expr, Deref):
+        if not is_value(expr.ref):
+            s = step(State(store, n, expr.ref))
+            return State(s.store, s.next_stage, Deref(s.expr))
+        if isinstance(expr.ref, GlobalVar):
+            i = expr.ref.index
+            if n > i:
+                raise StuckError(f"global g{i} is no longer accessible (stage {n})")
+            return State(store, i + 1, IntLit(store[i]))
+        raise StuckError("dereference of a non-global")
+
+    if isinstance(expr, Update):
+        if not is_value(expr.value):
+            s = step(State(store, n, expr.value))
+            return State(s.store, s.next_stage, Update(expr.ref, s.expr))
+        if not is_value(expr.ref):
+            s = step(State(store, n, expr.ref))
+            return State(s.store, s.next_stage, Update(s.expr, expr.value))
+        if isinstance(expr.ref, GlobalVar) and isinstance(expr.value, IntLit):
+            i = expr.ref.index
+            if n > i:
+                raise StuckError(f"global g{i} is no longer accessible (stage {n})")
+            new_store = list(store)
+            new_store[i] = expr.value.value
+            return State(new_store, i + 1, UnitLit())
+        raise StuckError("update of a non-global or with a non-integer")
+
+    if isinstance(expr, App):
+        if not is_value(expr.func):
+            s = step(State(store, n, expr.func))
+            return State(s.store, s.next_stage, App(s.expr, expr.arg))
+        if not is_value(expr.arg):
+            s = step(State(store, n, expr.arg))
+            return State(s.store, s.next_stage, App(expr.func, s.expr))
+        if isinstance(expr.func, Fun):
+            return State(store, n, _subst(expr.func.body, expr.func.param, expr.arg))
+        raise StuckError("application of a non-function")
+
+    raise StuckError(f"no rule applies to {expr!r}")
+
+
+def run(
+    expr: Expr,
+    store: Optional[List[int]] = None,
+    start_stage: int = 0,
+    max_steps: int = 10_000,
+) -> State:
+    """Run ``expr`` to a value (or raise :class:`StuckError`)."""
+    state = State(list(store or []), start_stage, expr)
+    for _ in range(max_steps):
+        if is_value(state.expr):
+            return state
+        state = step(state)
+    raise StuckError("evaluation did not terminate within the step budget")

@@ -1,0 +1,20 @@
+"""The Lucid language frontend: lexer, parser, memop checks, and the ordered
+type-and-effect system."""
+
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse_expression, parse_program
+from repro.frontend.memop_check import check_all_memops, check_memop
+from repro.frontend.symbols import ProgramInfo, collect_program_info
+from repro.frontend.type_checker import CheckedProgram, check_program
+
+__all__ = [
+    "tokenize",
+    "parse_program",
+    "parse_expression",
+    "check_memop",
+    "check_all_memops",
+    "collect_program_info",
+    "ProgramInfo",
+    "check_program",
+    "CheckedProgram",
+]

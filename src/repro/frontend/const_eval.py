@@ -1,0 +1,155 @@
+"""Compile-time constant evaluation.
+
+Lucid programs size their global arrays with ``const`` declarations (and
+``symbolic size`` placeholders bound by the harness).  This module folds
+constant expressions, resolves the ``size`` of every ``global`` declaration,
+and builds the constant environment that later phases (type checker,
+interpreter, backend) consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConstError
+from repro.frontend import ast
+
+
+#: Built-in constants available to every program.  ``SELF`` is the switch's
+#: own location and is bound at runtime; it still needs a compile-time stand-in
+#: so constant folding of unrelated expressions does not fail.
+BUILTIN_CONSTS: Dict[str, int] = {
+    "TCP": 6,
+    "UDP": 17,
+    "ICMP": 1,
+    "DNS_PORT": 53,
+    "RECIRC_PORT": 196,
+}
+
+
+@dataclass
+class ConstEnv:
+    """A resolved mapping from constant names to integer values."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+    groups: Dict[str, list] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> Optional[int]:
+        if name in self.values:
+            return self.values[name]
+        return BUILTIN_CONSTS.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+
+def eval_const_expr(expr: ast.Expr, env: ConstEnv) -> int:
+    """Evaluate ``expr`` to an integer using only compile-time information."""
+    if isinstance(expr, ast.EInt):
+        return expr.value
+    if isinstance(expr, ast.EBool):
+        return 1 if expr.value else 0
+    if isinstance(expr, ast.EVar):
+        value = env.lookup(expr.name)
+        if value is None:
+            raise ConstError(f"'{expr.name}' is not a compile-time constant", expr.span)
+        return value
+    if isinstance(expr, ast.EUnary):
+        val = eval_const_expr(expr.operand, env)
+        if expr.op is ast.UnOp.NEG:
+            return -val
+        if expr.op is ast.UnOp.BITNOT:
+            return ~val & 0xFFFFFFFF
+        if expr.op is ast.UnOp.NOT:
+            return 0 if val else 1
+    if isinstance(expr, ast.EBinary):
+        left = eval_const_expr(expr.left, env)
+        right = eval_const_expr(expr.right, env)
+        return _apply_binop(expr, left, right)
+    raise ConstError("expression is not a compile-time constant", expr.span)
+
+
+def _apply_binop(expr: ast.EBinary, left: int, right: int) -> int:
+    op = expr.op
+    if op is ast.BinOp.ADD:
+        return left + right
+    if op is ast.BinOp.SUB:
+        return left - right
+    if op is ast.BinOp.MUL:
+        return left * right
+    if op is ast.BinOp.DIV:
+        if right == 0:
+            raise ConstError("division by zero in constant expression", expr.span)
+        return left // right
+    if op is ast.BinOp.MOD:
+        if right == 0:
+            raise ConstError("modulo by zero in constant expression", expr.span)
+        return left % right
+    if op is ast.BinOp.BITAND:
+        return left & right
+    if op is ast.BinOp.BITOR:
+        return left | right
+    if op is ast.BinOp.BITXOR:
+        return left ^ right
+    if op is ast.BinOp.SHL:
+        return left << right
+    if op is ast.BinOp.SHR:
+        return left >> right
+    if op is ast.BinOp.EQ:
+        return int(left == right)
+    if op is ast.BinOp.NEQ:
+        return int(left != right)
+    if op is ast.BinOp.LT:
+        return int(left < right)
+    if op is ast.BinOp.GT:
+        return int(left > right)
+    if op is ast.BinOp.LE:
+        return int(left <= right)
+    if op is ast.BinOp.GE:
+        return int(left >= right)
+    if op is ast.BinOp.AND:
+        return int(bool(left) and bool(right))
+    if op is ast.BinOp.OR:
+        return int(bool(left) or bool(right))
+    raise ConstError(f"operator {op.value!r} not allowed in constant expressions", expr.span)
+
+
+def build_const_env(
+    program: ast.Program, symbolic_bindings: Optional[Dict[str, int]] = None
+) -> ConstEnv:
+    """Fold all ``const`` and ``symbolic`` declarations of ``program``.
+
+    ``symbolic_bindings`` lets a harness override the default value of
+    ``symbolic size`` declarations (e.g. to sweep table sizes in benchmarks).
+    """
+    env = ConstEnv()
+    bindings = symbolic_bindings or {}
+    for decl in program.decls:
+        if isinstance(decl, ast.DSymbolic):
+            env.values[decl.name] = bindings.get(decl.name, decl.default)
+        elif isinstance(decl, ast.DConst):
+            if isinstance(decl.ty, ast.TGroup):
+                if not isinstance(decl.value, ast.EGroup):
+                    raise ConstError(
+                        f"group constant '{decl.name}' must be initialised with a group literal",
+                        decl.span,
+                    )
+                env.groups[decl.name] = [eval_const_expr(m, env) for m in decl.value.members]
+                # groups also get a scalar stand-in (their first member) so
+                # they can appear in integer contexts such as comparisons.
+                env.values[decl.name] = env.groups[decl.name][0] if env.groups[decl.name] else 0
+            else:
+                env.values[decl.name] = eval_const_expr(decl.value, env)
+    return env
+
+
+def resolve_global_sizes(program: ast.Program, env: ConstEnv) -> None:
+    """Fill in the ``size`` field of every global declaration, in place."""
+    for decl in program.globals():
+        size = eval_const_expr(decl.size_expr, env)
+        if size <= 0:
+            raise ConstError(
+                f"global '{decl.name}' has non-positive size {size}", decl.span
+            )
+        decl.size = size

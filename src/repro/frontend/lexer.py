@@ -1,0 +1,221 @@
+"""A hand-written lexer for Lucid source text.
+
+The concrete syntax follows the snippets in the paper: C-like statements,
+``//`` and ``/* */`` comments, decimal / hexadecimal / binary integer
+literals, time-suffixed literals (``10ms``, ``100us``, ``1s``) which are
+normalised to nanoseconds, and the ``<<`` ``>>`` size brackets used by
+``Array<<32>>`` and ``hash<<16>>``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.frontend.source import SourceFile, Span
+from repro.frontend.tokens import KEYWORDS, Token, TokenKind
+
+#: Multipliers for time-suffixed integer literals, normalised to nanoseconds.
+TIME_SUFFIXES = {
+    "ns": 1,
+    "us": 1_000,
+    "ms": 1_000_000,
+    "s": 1_000_000_000,
+}
+
+_SINGLE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "~": TokenKind.TILDE,
+    "^": TokenKind.CARET,
+    "#": TokenKind.HASH,
+}
+
+
+class Lexer:
+    """Converts Lucid source text into a list of :class:`Token`."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+        self.tokens: List[Token] = []
+
+    # -- helpers ---------------------------------------------------------
+    def _span(self, start: int) -> Span:
+        return Span(self.source, start, self.pos)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _error(self, message: str, start: int) -> LexError:
+        return LexError(message, self._span(start))
+
+    # -- main loop -------------------------------------------------------
+    def tokenize(self) -> List[Token]:
+        """Lex the whole input, returning tokens terminated by ``EOF``."""
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif ch == "/" and self._peek(1) == "/":
+                self._skip_line_comment()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif ch.isdigit():
+                self._lex_number()
+            elif ch.isalpha() or ch == "_":
+                self._lex_ident()
+            elif ch == '"':
+                self._lex_string()
+            else:
+                self._lex_operator()
+        eof_span = Span(self.source, len(self.text), len(self.text))
+        self.tokens.append(Token(TokenKind.EOF, "", eof_span))
+        return self.tokens
+
+    # -- token scanners --------------------------------------------------
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.text) and self._peek() != "\n":
+            self.pos += 1
+
+    def _skip_block_comment(self) -> None:
+        start = self.pos
+        self.pos += 2
+        while self.pos < len(self.text):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self.pos += 2
+                return
+            self.pos += 1
+        raise self._error("unterminated block comment", start)
+
+    def _lex_number(self) -> None:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self.pos += 2
+            while self._peek().isalnum():
+                self.pos += 1
+            text = self.text[start : self.pos]
+            try:
+                value = int(text, 16)
+            except ValueError:
+                raise self._error(f"invalid hexadecimal literal {text!r}", start) from None
+            self.tokens.append(Token(TokenKind.INT, text, self._span(start), value))
+            return
+        if self._peek() == "0" and self._peek(1) in "bB":
+            self.pos += 2
+            while self._peek().isalnum():
+                self.pos += 1
+            text = self.text[start : self.pos]
+            try:
+                value = int(text, 2)
+            except ValueError:
+                raise self._error(f"invalid binary literal {text!r}", start) from None
+            self.tokens.append(Token(TokenKind.INT, text, self._span(start), value))
+            return
+        while self._peek().isdigit():
+            self.pos += 1
+        digits_end = self.pos
+        # time suffix? (ns, us, ms, s)
+        suffix_start = self.pos
+        while self._peek().isalpha():
+            self.pos += 1
+        suffix = self.text[suffix_start : self.pos]
+        text = self.text[start : self.pos]
+        value = int(self.text[start:digits_end])
+        if suffix:
+            if suffix in TIME_SUFFIXES:
+                value *= TIME_SUFFIXES[suffix]
+            elif suffix == "w":  # width suffix, e.g. 32w in P4-ish code; ignore
+                pass
+            else:
+                raise self._error(f"unknown numeric suffix {suffix!r}", start)
+        self.tokens.append(Token(TokenKind.INT, text, self._span(start), value))
+
+    def _lex_ident(self) -> None:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self.pos += 1
+        text = self.text[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        self.tokens.append(Token(kind, text, self._span(start)))
+
+    def _lex_string(self) -> None:
+        start = self.pos
+        self.pos += 1
+        while self.pos < len(self.text) and self._peek() != '"':
+            if self._peek() == "\n":
+                raise self._error("unterminated string literal", start)
+            self.pos += 1
+        if self.pos >= len(self.text):
+            raise self._error("unterminated string literal", start)
+        self.pos += 1
+        text = self.text[start : self.pos]
+        self.tokens.append(Token(TokenKind.STRING, text, self._span(start)))
+
+    def _lex_operator(self) -> None:
+        start = self.pos
+        two = self.text[self.pos : self.pos + 2]
+        two_char = {
+            "==": TokenKind.EQ,
+            "!=": TokenKind.NEQ,
+            "<=": TokenKind.LE,
+            ">=": TokenKind.GE,
+            "&&": TokenKind.AND,
+            "||": TokenKind.OR,
+            "<<": TokenKind.LSHIFT_SIZE,
+            ">>": TokenKind.RSHIFT_SIZE,
+        }
+        if two in two_char:
+            self.pos += 2
+            self.tokens.append(Token(two_char[two], two, self._span(start)))
+            return
+        ch = self._peek()
+        if ch == "=":
+            self.pos += 1
+            self.tokens.append(Token(TokenKind.ASSIGN, "=", self._span(start)))
+            return
+        if ch == "<":
+            self.pos += 1
+            self.tokens.append(Token(TokenKind.LT, "<", self._span(start)))
+            return
+        if ch == ">":
+            self.pos += 1
+            self.tokens.append(Token(TokenKind.GT, ">", self._span(start)))
+            return
+        if ch == "!":
+            self.pos += 1
+            self.tokens.append(Token(TokenKind.BANG, "!", self._span(start)))
+            return
+        if ch == "&":
+            self.pos += 1
+            self.tokens.append(Token(TokenKind.AMP, "&", self._span(start)))
+            return
+        if ch == "|":
+            self.pos += 1
+            self.tokens.append(Token(TokenKind.PIPE, "|", self._span(start)))
+            return
+        if ch in _SINGLE_CHAR:
+            self.pos += 1
+            self.tokens.append(Token(_SINGLE_CHAR[ch], ch, self._span(start)))
+            return
+        self.pos += 1
+        raise self._error(f"unexpected character {ch!r}", start)
+
+
+def tokenize(text: str, name: str = "<string>") -> List[Token]:
+    """Convenience wrapper: lex ``text`` and return its tokens."""
+    return Lexer(SourceFile(name, text)).tokenize()

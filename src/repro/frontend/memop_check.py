@@ -1,0 +1,192 @@
+"""Syntactic validation of memops (Section 4.2, Appendix C).
+
+A memop is a function that must compile to *one* stateful-ALU instruction.
+The paper defines three syntactic constraints:
+
+1. the body is either a single ``return`` statement, or an ``if`` statement
+   with exactly one ``return`` in each branch;
+2. each variable is used at most once per expression; and
+3. only ALU-supported operators are used.
+
+Two further rules fall out of the uniform-memop design discussed in
+Appendix C (every memop must be usable in *any* Array method, including
+``Array.update`` which packs two memops into one sALU instruction):
+
+4. a memop takes exactly two parameters — the stored (memory) value first and
+   one value of local state second; and
+5. conditions must be *simple* comparisons (no ``&&`` / ``||`` compound
+   conditions), because a compound condition is only legal in some Array
+   methods.
+
+Violations are reported as :class:`~repro.errors.MemopError` with the exact
+span of the offending construct, reproducing the paper's "source-level error
+messages point out exactly where any such mistakes occur".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import MemopError
+from repro.frontend import ast
+from repro.frontend.ast import SALU_ARITH_OPS, SALU_CMP_OPS
+
+
+def check_memop(memop: ast.DMemop) -> None:
+    """Validate one memop declaration; raise :class:`MemopError` on failure."""
+    _check_params(memop)
+    param_names = {p.name for p in memop.params}
+    body = [s for s in memop.body if not isinstance(s, ast.SNoop)]
+    if len(body) == 1 and isinstance(body[0], ast.SReturn):
+        _check_return(body[0], param_names)
+        return
+    if len(body) == 1 and isinstance(body[0], ast.SIf):
+        _check_if_body(body[0], param_names)
+        return
+    span = memop.body[0].span if memop.body else memop.span
+    raise MemopError(
+        f"memop '{memop.name}' body must be a single return statement or an if "
+        "statement with one return in each branch",
+        span,
+    )
+
+
+def check_all_memops(program: ast.Program) -> None:
+    """Validate every memop declared in ``program``."""
+    for memop in program.memops():
+        check_memop(memop)
+
+
+# ---------------------------------------------------------------------------
+# rule 4: exactly two parameters, stored value first
+# ---------------------------------------------------------------------------
+def _check_params(memop: ast.DMemop) -> None:
+    if len(memop.params) != 2:
+        raise MemopError(
+            f"memop '{memop.name}' must take exactly two parameters (the stored "
+            f"memory value and one local value), found {len(memop.params)}; "
+            "reading more than one piece of local state cannot fit in a single "
+            "stateful ALU when used with Array.update",
+            memop.span,
+        )
+    for param in memop.params:
+        if not isinstance(param.ty, ast.TInt):
+            raise MemopError(
+                f"memop parameter '{param.name}' must be an int (stateful ALUs "
+                "operate on integer register cells)",
+                param.span,
+            )
+
+
+# ---------------------------------------------------------------------------
+# rule 1: body shape
+# ---------------------------------------------------------------------------
+def _check_if_body(stmt: ast.SIf, param_names: set) -> None:
+    _check_condition(stmt.cond, param_names)
+    for branch_name, branch in (("then", stmt.then_body), ("else", stmt.else_body)):
+        stmts = [s for s in branch if not isinstance(s, ast.SNoop)]
+        if len(stmts) != 1 or not isinstance(stmts[0], ast.SReturn):
+            span = stmts[0].span if stmts else stmt.span
+            raise MemopError(
+                f"the {branch_name}-branch of a memop's if statement must contain "
+                "exactly one return statement",
+                span,
+            )
+        _check_return(stmts[0], param_names)
+
+
+def _check_return(stmt: ast.SReturn, param_names: set) -> None:
+    if stmt.value is None:
+        raise MemopError("a memop must return a value", stmt.span)
+    _check_value_expr(stmt.value, param_names)
+
+
+# ---------------------------------------------------------------------------
+# rules 2, 3, 5: expression restrictions
+# ---------------------------------------------------------------------------
+def _check_condition(cond: ast.Expr, param_names: set) -> None:
+    """Conditions must be a single comparison between ALU operands."""
+    if isinstance(cond, ast.EBinary) and cond.op in (ast.BinOp.AND, ast.BinOp.OR):
+        raise MemopError(
+            "compound conditional expressions (&&, ||) are not allowed in memops: "
+            "an Array.update call packs two memops into one stateful ALU and "
+            "cannot also evaluate a compound condition",
+            cond.span,
+        )
+    if isinstance(cond, ast.EBinary) and cond.op in SALU_CMP_OPS:
+        _check_operand(cond.left, param_names)
+        _check_operand(cond.right, param_names)
+        _check_single_use(cond, param_names)
+        return
+    if isinstance(cond, (ast.EVar, ast.EBool)):
+        return
+    raise MemopError(
+        "a memop condition must be a single comparison between the stored value, "
+        "the local argument, or constants",
+        cond.span,
+    )
+
+
+def _check_value_expr(expr: ast.Expr, param_names: set) -> None:
+    """Returned values must be evaluable by the sALU arithmetic unit."""
+    _check_single_use(expr, param_names)
+    _check_value_expr_rec(expr, param_names, depth=0)
+
+
+def _check_value_expr_rec(expr: ast.Expr, param_names: set, depth: int) -> None:
+    if isinstance(expr, (ast.EInt, ast.EBool, ast.EVar)):
+        return
+    if isinstance(expr, ast.EBinary):
+        if expr.op not in SALU_ARITH_OPS:
+            raise MemopError(
+                f"operator '{expr.op.value}' is not supported by the stateful ALU "
+                "(supported: + - & | ^)",
+                expr.span,
+            )
+        if depth >= 1:
+            raise MemopError(
+                "memop return expressions may apply at most one arithmetic "
+                "operator (a single stateful-ALU instruction)",
+                expr.span,
+            )
+        _check_operand(expr.left, param_names)
+        _check_operand(expr.right, param_names)
+        _check_value_expr_rec(expr.left, param_names, depth + 1)
+        _check_value_expr_rec(expr.right, param_names, depth + 1)
+        return
+    if isinstance(expr, ast.ECall):
+        raise MemopError("function calls are not allowed inside memops", expr.span)
+    if isinstance(expr, ast.EUnary):
+        raise MemopError(
+            f"unary operator '{expr.op.value}' is not supported inside memops", expr.span
+        )
+    raise MemopError("expression is too complex for a stateful ALU", expr.span)
+
+
+def _check_operand(expr: ast.Expr, param_names: set) -> None:
+    if isinstance(expr, (ast.EInt, ast.EBool)):
+        return
+    if isinstance(expr, ast.EVar):
+        return
+    if isinstance(expr, ast.EBinary):
+        # nested binary: handled by depth check in _check_value_expr_rec
+        return
+    raise MemopError(
+        "memop operands must be the stored value, the local argument, or constants",
+        expr.span,
+    )
+
+
+def _check_single_use(expr: ast.Expr, param_names: set) -> None:
+    """Rule 2: each variable may be used at most once per expression."""
+    counts: Dict[str, List[ast.EVar]] = {}
+    for sub in ast.walk_expr(expr):
+        if isinstance(sub, ast.EVar):
+            counts.setdefault(sub.name, []).append(sub)
+    for name, uses in counts.items():
+        if len(uses) > 1:
+            raise MemopError(
+                f"variable '{name}' is used {len(uses)} times in one expression; "
+                "a stateful ALU can read each operand only once",
+                uses[1].span,
+            )

@@ -1,0 +1,35 @@
+"""The Lucid interpreter: event-driven execution of Lucid programs on a
+simulated switch or network of switches."""
+
+from repro.interp.arrays import RuntimeArray
+from repro.interp.events import LOCAL, EventInstance
+from repro.interp.interpreter import (
+    ExecutionResult,
+    HandlerInterpreter,
+    SwitchRuntime,
+    lucid_hash,
+)
+from repro.interp.network import (
+    Network,
+    SchedulerConfig,
+    Switch,
+    SwitchStats,
+    TraceEntry,
+    single_switch_network,
+)
+
+__all__ = [
+    "RuntimeArray",
+    "EventInstance",
+    "LOCAL",
+    "HandlerInterpreter",
+    "SwitchRuntime",
+    "ExecutionResult",
+    "lucid_hash",
+    "Network",
+    "Switch",
+    "SwitchStats",
+    "SchedulerConfig",
+    "TraceEntry",
+    "single_switch_network",
+]

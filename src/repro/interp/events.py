@@ -1,0 +1,72 @@
+"""Runtime event values and the event combinators (Section 3.1).
+
+An event instance is the four-tuple the paper describes: a *name*, carried
+*data*, a *time* (here: an extra delay in nanoseconds), and a *place* (a
+switch id, a named multicast group, or ``LOCAL``).  ``Event.delay`` and
+``Event.locate`` return new values; events are immutable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+#: sentinel location meaning "the switch that generated the event"
+LOCAL = -1
+
+_serial = itertools.count()
+
+
+@dataclass(frozen=True)
+class EventInstance:
+    """A concrete event awaiting (or undergoing) handling."""
+
+    name: str
+    args: Tuple[int, ...] = ()
+    delay_ns: int = 0
+    location: int = LOCAL
+    group: Optional[Tuple[int, ...]] = None
+    #: switch that generated the event (filled by the scheduler)
+    source: Optional[int] = None
+    #: monotonically increasing id used for deterministic tie-breaking
+    serial: int = field(default_factory=lambda: next(_serial))
+
+    # -- combinators --------------------------------------------------------
+    def delay(self, extra_ns: int) -> "EventInstance":
+        """``Event.delay(e, t)`` — execute ``e`` at least ``t`` ns in the future."""
+        return replace(self, delay_ns=self.delay_ns + int(extra_ns), serial=next(_serial))
+
+    def locate(self, location: Union[int, Tuple[int, ...], List[int]]) -> "EventInstance":
+        """``Event.locate(e, loc)`` — execute ``e`` at switch ``loc`` (or at every
+        member of a group)."""
+        if isinstance(location, (tuple, list)):
+            return replace(self, group=tuple(int(l) for l in location), serial=next(_serial))
+        return replace(self, location=int(location), serial=next(_serial))
+
+    # -- helpers -------------------------------------------------------------
+    def is_local(self) -> bool:
+        return self.group is None and self.location == LOCAL
+
+    def targets(self, self_id: int) -> List[int]:
+        """The switch ids this event must be delivered to."""
+        if self.group is not None:
+            return list(self.group)
+        if self.location == LOCAL:
+            return [self_id]
+        return [self.location]
+
+    def payload_bytes(self) -> int:
+        """Wire size of the serialised event packet (used by the recirculation
+        and bandwidth models): Ethernet + Lucid header + 4 bytes per argument,
+        subject to the 64 B minimum frame size."""
+        raw = 14 + 13 + 4 * len(self.args)
+        return max(64, raw)
+
+    def describe(self) -> str:
+        where = "local"
+        if self.group is not None:
+            where = f"group{list(self.group)}"
+        elif self.location != LOCAL:
+            where = f"switch {self.location}"
+        return f"{self.name}({', '.join(map(str, self.args))}) @ {where} +{self.delay_ns}ns"

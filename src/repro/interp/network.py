@@ -1,0 +1,266 @@
+"""A discrete-event simulation of Lucid switches in a network (Section 3.2).
+
+The network plays the role of the paper's data-plane event scheduler plus the
+physical links between switches:
+
+* events generated for the *local* switch re-enter the pipeline through the
+  recirculation port (~600 ns per pass in the paper's measurements);
+* events located at *another* switch are serialised into event packets and
+  forwarded over a link (~1 µs, "bound only by the propagation and queueing
+  delays of the physical hardware");
+* delayed events sit in the pausable delay queue, which is released every
+  ``delay_release_interval_ns`` (100 µs in the paper), so their actual delay is
+  quantised to the release interval — the source of the ~50 µs delay error
+  measured in Figure 14.
+
+The simulation also accounts recirculation bandwidth per switch so the
+overhead analyses of Sections 7.2-7.3 can be reproduced.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.frontend.type_checker import CheckedProgram, check_program
+from repro.interp.events import LOCAL, EventInstance
+from repro.interp.interpreter import ExecutionResult, HandlerInterpreter, SwitchRuntime
+
+
+@dataclass
+class SchedulerConfig:
+    """Timing constants of the event scheduler and the simulated hardware."""
+
+    #: one pass through the ingress+egress pipeline
+    pipeline_latency_ns: int = 400
+    #: latency of one recirculation (egress -> recirculation port -> ingress)
+    recirculation_latency_ns: int = 600
+    #: one-way latency between neighbouring switches
+    link_latency_ns: int = 1_000
+    #: release interval of the pausable delay queue (100 us in the paper)
+    delay_release_interval_ns: int = 100_000
+    #: whether delayed events use the pausable queue (True) or recirculate
+    #: continuously until their delay expires (the Figure 14 baseline)
+    use_delay_queue: bool = True
+    #: recirculation port bandwidth (bits/s), for overhead accounting
+    recirc_bandwidth_bps: float = 100e9
+
+
+@dataclass
+class SwitchStats:
+    """Per-switch counters collected during simulation."""
+
+    events_handled: int = 0
+    events_generated: int = 0
+    recirculations: int = 0
+    recirculated_bytes: int = 0
+    remote_sends: int = 0
+    drops: int = 0
+    handled_by_event: Dict[str, int] = field(default_factory=dict)
+
+    def recirc_bandwidth_bps(self, duration_ns: int) -> float:
+        if duration_ns <= 0:
+            return 0.0
+        return self.recirculated_bytes * 8 / (duration_ns * 1e-9)
+
+
+class Switch:
+    """One Lucid switch: a program instance plus its runtime state."""
+
+    def __init__(self, switch_id: int, checked: CheckedProgram):
+        self.id = switch_id
+        self.runtime = SwitchRuntime(checked, switch_id=switch_id)
+        self.interpreter = HandlerInterpreter(self.runtime)
+        self.stats = SwitchStats()
+        self.log: List[str] = []
+
+    def array(self, name: str):
+        return self.runtime.array(name)
+
+    def bind_extern(self, name: str, fn: Callable[..., int]) -> None:
+        self.runtime.bind_extern(name, fn)
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time_ns: int
+    serial: int
+    switch_id: int = field(compare=False)
+    event: EventInstance = field(compare=False)
+
+
+@dataclass
+class TraceEntry:
+    """One handled event, for test assertions and latency measurements."""
+
+    time_ns: int
+    switch_id: int
+    event: EventInstance
+    result: ExecutionResult
+
+
+class Network:
+    """A set of Lucid switches connected by point-to-point links."""
+
+    def __init__(self, config: Optional[SchedulerConfig] = None):
+        self.config = config or SchedulerConfig()
+        self.switches: Dict[int, Switch] = {}
+        self.links: Dict[Tuple[int, int], int] = {}
+        self.now_ns = 0
+        self._queue: List[_QueuedEvent] = []
+        self._serial = 0
+        self.trace: List[TraceEntry] = []
+        self.trace_enabled = True
+        self.on_handle: Optional[Callable[[TraceEntry], None]] = None
+
+    # -- topology -------------------------------------------------------------
+    def add_switch(self, switch_id: int, program: "CheckedProgram | str") -> Switch:
+        """Add a switch running ``program`` (source text or a checked program)."""
+        if switch_id in self.switches:
+            raise SimulationError(f"switch {switch_id} already exists")
+        checked = check_program(program) if isinstance(program, str) else program
+        switch = Switch(switch_id, checked)
+        self.switches[switch_id] = switch
+        return switch
+
+    def add_link(self, a: int, b: int, latency_ns: Optional[int] = None) -> None:
+        """Add a bidirectional link between switches ``a`` and ``b``."""
+        latency = latency_ns if latency_ns is not None else self.config.link_latency_ns
+        self.links[(a, b)] = latency
+        self.links[(b, a)] = latency
+
+    def link_latency(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        return self.links.get((src, dst), self.config.link_latency_ns)
+
+    def switch(self, switch_id: int) -> Switch:
+        try:
+            return self.switches[switch_id]
+        except KeyError:
+            raise SimulationError(f"no switch with id {switch_id}") from None
+
+    # -- scheduling -------------------------------------------------------------
+    def _push(self, time_ns: int, switch_id: int, event: EventInstance) -> None:
+        self._serial += 1
+        heapq.heappush(self._queue, _QueuedEvent(time_ns, self._serial, switch_id, event))
+
+    def inject(self, switch_id: int, event: EventInstance, at_ns: Optional[int] = None) -> None:
+        """Inject an event (e.g. the arrival of a data packet) from outside."""
+        if switch_id not in self.switches:
+            raise SimulationError(f"no switch with id {switch_id}")
+        time_ns = self.now_ns if at_ns is None else at_ns
+        self._push(max(time_ns, self.now_ns), switch_id, event)
+
+    def _delay_after_queue(self, delay_ns: int) -> int:
+        """Delay actually experienced when using the pausable delay queue: the
+        queue releases only at multiples of the release interval."""
+        interval = self.config.delay_release_interval_ns
+        if delay_ns <= 0 or not self.config.use_delay_queue:
+            return max(0, delay_ns)
+        periods = -(-delay_ns // interval)  # ceil division
+        return periods * interval
+
+    def _schedule_generated(self, source: Switch, event: EventInstance) -> None:
+        source.stats.events_generated += 1
+        for target in event.targets(source.id):
+            if target == source.id:
+                # local: the event packet recirculates at least once
+                delay = self._delay_after_queue(event.delay_ns)
+                arrival = self.now_ns + self.config.recirculation_latency_ns + delay
+                recirc_passes = 1
+                if event.delay_ns > 0 and not self.config.use_delay_queue:
+                    # without the pausable queue the packet recirculates
+                    # continuously until its delay expires
+                    recirc_passes += max(
+                        0, event.delay_ns // max(1, self.config.recirculation_latency_ns)
+                    )
+                source.stats.recirculations += recirc_passes
+                source.stats.recirculated_bytes += recirc_passes * event.payload_bytes()
+            else:
+                source.stats.remote_sends += 1
+                arrival = (
+                    self.now_ns
+                    + self.config.pipeline_latency_ns
+                    + self.link_latency(source.id, target)
+                    + self._delay_after_queue(event.delay_ns)
+                )
+            delivered = EventInstance(
+                name=event.name,
+                args=event.args,
+                delay_ns=0,
+                location=LOCAL,
+                group=None,
+                source=source.id,
+            )
+            self._push(arrival, target, delivered)
+
+    # -- execution -----------------------------------------------------------------
+    def step(self) -> Optional[TraceEntry]:
+        """Execute the next pending event; return its trace entry (or None)."""
+        if not self._queue:
+            return None
+        item = heapq.heappop(self._queue)
+        self.now_ns = max(self.now_ns, item.time_ns)
+        switch = self.switches.get(item.switch_id)
+        if switch is None:
+            return None
+        switch.runtime.time_ns = self.now_ns
+        result = switch.interpreter.run(item.event)
+        switch.stats.events_handled += 1
+        switch.stats.handled_by_event[item.event.name] = (
+            switch.stats.handled_by_event.get(item.event.name, 0) + 1
+        )
+        if result.dropped:
+            switch.stats.drops += 1
+        switch.log.extend(result.prints)
+        for generated in result.generated:
+            self._schedule_generated(switch, generated)
+        entry = TraceEntry(time_ns=self.now_ns, switch_id=switch.id, event=item.event, result=result)
+        if self.trace_enabled:
+            self.trace.append(entry)
+        if self.on_handle is not None:
+            self.on_handle(entry)
+        return entry
+
+    def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation until the queue drains, ``until_ns`` is reached,
+        or ``max_events`` have been handled.  Returns the number of events
+        handled by this call."""
+        handled = 0
+        while self._queue:
+            if max_events is not None and handled >= max_events:
+                break
+            if until_ns is not None and self._queue[0].time_ns > until_ns:
+                break
+            if self.step() is not None:
+                handled += 1
+        if until_ns is not None:
+            self.now_ns = max(self.now_ns, until_ns)
+        return handled
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # -- convenience -------------------------------------------------------------
+    def total_stats(self) -> SwitchStats:
+        total = SwitchStats()
+        for switch in self.switches.values():
+            total.events_handled += switch.stats.events_handled
+            total.events_generated += switch.stats.events_generated
+            total.recirculations += switch.stats.recirculations
+            total.recirculated_bytes += switch.stats.recirculated_bytes
+            total.remote_sends += switch.stats.remote_sends
+            total.drops += switch.stats.drops
+        return total
+
+
+def single_switch_network(
+    program: "CheckedProgram | str", config: Optional[SchedulerConfig] = None
+) -> Tuple[Network, Switch]:
+    """Convenience constructor for the common one-switch case."""
+    network = Network(config=config)
+    switch = network.add_switch(0, program)
+    return network, switch

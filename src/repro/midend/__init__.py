@@ -1,0 +1,12 @@
+"""Mid-end of the Lucid compiler: function inlining and normalisation of
+handler bodies into atomic (single-ALU) statements."""
+
+from repro.midend.inline import inline_program_functions
+from repro.midend.normalize import NormalizedHandler, normalize_handler, normalize_program
+
+__all__ = [
+    "inline_program_functions",
+    "normalize_handler",
+    "normalize_program",
+    "NormalizedHandler",
+]

@@ -1,0 +1,305 @@
+"""Function inlining (the first step of handler compilation, Section 6.1).
+
+Lucid ``fun`` declarations are always inlined into the handlers that call
+them: a PISA pipeline has no notion of a call, so every handler must become a
+self-contained slice of tables.  Inlining proceeds per call site:
+
+1. every formal parameter becomes a fresh local bound to the actual argument
+   (array-typed formals are substituted *syntactically*, because arrays are
+   compile-time objects, not runtime values);
+2. the callee body is copied with locals renamed to fresh names;
+3. ``return`` statements are rewritten to assign a fresh result variable
+   (after a *returnify* pass that pushes trailing statements into the
+   non-returning branches, so every return is in tail position); and
+4. the call expression is replaced by the result variable.
+
+The pass is applied to innermost calls first and repeats until no user
+function calls remain, so functions that call functions are handled.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TypeError_
+from repro.frontend import ast
+from repro.frontend.symbols import ProgramInfo
+
+
+class FreshNames:
+    """Generates fresh variable names that cannot collide with user names."""
+
+    def __init__(self, prefix: str = "_t"):
+        self.prefix = prefix
+        self.counter = itertools.count()
+
+    def fresh(self, hint: str = "") -> str:
+        suffix = f"_{hint}" if hint else ""
+        return f"{self.prefix}{next(self.counter)}{suffix}"
+
+
+# ---------------------------------------------------------------------------
+# returnify: push trailing statements into branches so returns are tail-only
+# ---------------------------------------------------------------------------
+def _block_returns(stmts: List[ast.Stmt]) -> bool:
+    """True when every path through ``stmts`` ends in a return."""
+    for i, stmt in enumerate(stmts):
+        if isinstance(stmt, ast.SReturn):
+            return True
+        if isinstance(stmt, ast.SIf):
+            if _block_returns(stmt.then_body) and _block_returns(stmt.else_body):
+                return True
+    return False
+
+
+def returnify(stmts: List[ast.Stmt]) -> List[ast.Stmt]:
+    """Rewrite ``stmts`` so that every ``return`` is in tail position.
+
+    ``if (c) { return a; } rest`` becomes ``if (c) { return a; } else { rest }``
+    (the original else branch, if any, also receives ``rest``).
+    """
+    result: List[ast.Stmt] = []
+    for i, stmt in enumerate(stmts):
+        if isinstance(stmt, ast.SIf):
+            then_body = returnify(stmt.then_body)
+            else_body = returnify(stmt.else_body)
+            rest = returnify(stmts[i + 1 :])
+            then_returns = _block_returns(then_body)
+            else_returns = _block_returns(else_body)
+            if rest and (then_returns or else_returns):
+                if not then_returns:
+                    then_body = then_body + copy.deepcopy(rest)
+                if not else_returns:
+                    else_body = else_body + copy.deepcopy(rest)
+                result.append(
+                    ast.SIf(span=stmt.span, cond=stmt.cond, then_body=then_body, else_body=else_body)
+                )
+                return result
+            result.append(
+                ast.SIf(span=stmt.span, cond=stmt.cond, then_body=then_body, else_body=else_body)
+            )
+            continue
+        if isinstance(stmt, ast.SReturn):
+            result.append(stmt)
+            return result  # statements after an unconditional return are dead
+        result.append(stmt)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# renaming / substitution helpers
+# ---------------------------------------------------------------------------
+def _rename_expr(expr: ast.Expr, renames: Dict[str, ast.Expr]) -> ast.Expr:
+    expr = copy.copy(expr)
+    if isinstance(expr, ast.EVar):
+        if expr.name in renames:
+            return copy.deepcopy(renames[expr.name])
+        return expr
+    if isinstance(expr, ast.EUnary):
+        expr.operand = _rename_expr(expr.operand, renames)
+        return expr
+    if isinstance(expr, ast.EBinary):
+        expr.left = _rename_expr(expr.left, renames)
+        expr.right = _rename_expr(expr.right, renames)
+        return expr
+    if isinstance(expr, (ast.ECall, ast.EEvent)):
+        expr.args = [_rename_expr(a, renames) for a in expr.args]
+        return expr
+    if isinstance(expr, ast.EGroup):
+        expr.members = [_rename_expr(m, renames) for m in expr.members]
+        return expr
+    return expr
+
+
+def _rename_stmts(
+    stmts: List[ast.Stmt], renames: Dict[str, ast.Expr], fresh: FreshNames
+) -> List[ast.Stmt]:
+    """Copy ``stmts`` substituting ``renames`` and freshening local declarations."""
+    renames = dict(renames)
+    out: List[ast.Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.SLocal):
+            new_name = fresh.fresh(stmt.name)
+            init = _rename_expr(stmt.init, renames)
+            renames[stmt.name] = ast.EVar(span=stmt.span, name=new_name)
+            out.append(ast.SLocal(span=stmt.span, ty=stmt.ty, name=new_name, init=init))
+        elif isinstance(stmt, ast.SAssign):
+            target = renames.get(stmt.name)
+            name = target.name if isinstance(target, ast.EVar) else stmt.name
+            out.append(ast.SAssign(span=stmt.span, name=name, value=_rename_expr(stmt.value, renames)))
+        elif isinstance(stmt, ast.SIf):
+            out.append(
+                ast.SIf(
+                    span=stmt.span,
+                    cond=_rename_expr(stmt.cond, renames),
+                    then_body=_rename_stmts(stmt.then_body, renames, fresh),
+                    else_body=_rename_stmts(stmt.else_body, renames, fresh),
+                )
+            )
+        elif isinstance(stmt, ast.SMatch):
+            out.append(
+                ast.SMatch(
+                    span=stmt.span,
+                    scrutinees=[_rename_expr(e, renames) for e in stmt.scrutinees],
+                    branches=[
+                        (list(pat), _rename_stmts(body, renames, fresh))
+                        for pat, body in stmt.branches
+                    ],
+                )
+            )
+        elif isinstance(stmt, ast.SReturn):
+            value = _rename_expr(stmt.value, renames) if stmt.value is not None else None
+            out.append(ast.SReturn(span=stmt.span, value=value))
+        elif isinstance(stmt, ast.SGenerate):
+            out.append(
+                ast.SGenerate(
+                    span=stmt.span, event=_rename_expr(stmt.event, renames), multicast=stmt.multicast
+                )
+            )
+        elif isinstance(stmt, ast.SExpr):
+            out.append(ast.SExpr(span=stmt.span, expr=_rename_expr(stmt.expr, renames)))
+        elif isinstance(stmt, ast.SSeq):
+            out.append(ast.SSeq(span=stmt.span, body=_rename_stmts(stmt.body, renames, fresh)))
+        else:
+            out.append(copy.deepcopy(stmt))
+    return out
+
+
+def _replace_returns(stmts: List[ast.Stmt], result_var: Optional[str]) -> List[ast.Stmt]:
+    out: List[ast.Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.SReturn):
+            if stmt.value is not None and result_var is not None:
+                out.append(ast.SAssign(span=stmt.span, name=result_var, value=stmt.value))
+        elif isinstance(stmt, ast.SIf):
+            out.append(
+                ast.SIf(
+                    span=stmt.span,
+                    cond=stmt.cond,
+                    then_body=_replace_returns(stmt.then_body, result_var),
+                    else_body=_replace_returns(stmt.else_body, result_var),
+                )
+            )
+        elif isinstance(stmt, ast.SMatch):
+            out.append(
+                ast.SMatch(
+                    span=stmt.span,
+                    scrutinees=stmt.scrutinees,
+                    branches=[(pat, _replace_returns(body, result_var)) for pat, body in stmt.branches],
+                )
+            )
+        else:
+            out.append(stmt)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the inliner
+# ---------------------------------------------------------------------------
+@dataclass
+class Inliner:
+    """Inlines user function calls inside one handler body."""
+
+    info: ProgramInfo
+    fresh: FreshNames = field(default_factory=lambda: FreshNames(prefix="_inl"))
+    max_depth: int = 64
+
+    def inline_handler(self, handler: ast.DHandler) -> ast.DHandler:
+        body = copy.deepcopy(handler.body)
+        body = self._inline_block(body, depth=0)
+        return ast.DHandler(span=handler.span, name=handler.name, params=handler.params, body=body)
+
+    # -- statements -------------------------------------------------------
+    def _inline_block(self, stmts: List[ast.Stmt], depth: int) -> List[ast.Stmt]:
+        out: List[ast.Stmt] = []
+        for stmt in stmts:
+            out.extend(self._inline_stmt(stmt, depth))
+        return out
+
+    def _inline_stmt(self, stmt: ast.Stmt, depth: int) -> List[ast.Stmt]:
+        prefix: List[ast.Stmt] = []
+        if isinstance(stmt, ast.SLocal):
+            stmt.init = self._inline_expr(stmt.init, prefix, depth)
+        elif isinstance(stmt, ast.SAssign):
+            stmt.value = self._inline_expr(stmt.value, prefix, depth)
+        elif isinstance(stmt, ast.SIf):
+            stmt.cond = self._inline_expr(stmt.cond, prefix, depth)
+            stmt.then_body = self._inline_block(stmt.then_body, depth)
+            stmt.else_body = self._inline_block(stmt.else_body, depth)
+        elif isinstance(stmt, ast.SMatch):
+            stmt.scrutinees = [self._inline_expr(e, prefix, depth) for e in stmt.scrutinees]
+            stmt.branches = [(pat, self._inline_block(body, depth)) for pat, body in stmt.branches]
+        elif isinstance(stmt, ast.SReturn) and stmt.value is not None:
+            stmt.value = self._inline_expr(stmt.value, prefix, depth)
+        elif isinstance(stmt, ast.SGenerate):
+            stmt.event = self._inline_expr(stmt.event, prefix, depth)
+        elif isinstance(stmt, ast.SExpr):
+            stmt.expr = self._inline_expr(stmt.expr, prefix, depth)
+        elif isinstance(stmt, ast.SSeq):
+            stmt.body = self._inline_block(stmt.body, depth)
+        return prefix + [stmt]
+
+    # -- expressions ------------------------------------------------------
+    def _inline_expr(self, expr: ast.Expr, prefix: List[ast.Stmt], depth: int) -> ast.Expr:
+        if depth > self.max_depth:
+            raise TypeError_("function inlining exceeded the maximum depth", expr.span)
+        if isinstance(expr, ast.EUnary):
+            expr.operand = self._inline_expr(expr.operand, prefix, depth)
+            return expr
+        if isinstance(expr, ast.EBinary):
+            expr.left = self._inline_expr(expr.left, prefix, depth)
+            expr.right = self._inline_expr(expr.right, prefix, depth)
+            return expr
+        if isinstance(expr, ast.EGroup):
+            expr.members = [self._inline_expr(m, prefix, depth) for m in expr.members]
+            return expr
+        if isinstance(expr, ast.EEvent):
+            expr.args = [self._inline_expr(a, prefix, depth) for a in expr.args]
+            return expr
+        if isinstance(expr, ast.ECall):
+            expr.args = [self._inline_expr(a, prefix, depth) for a in expr.args]
+            if self.info.is_function(expr.func):
+                return self._inline_call(expr, prefix, depth)
+            return expr
+        return expr
+
+    def _inline_call(self, call: ast.ECall, prefix: List[ast.Stmt], depth: int) -> ast.Expr:
+        fun = self.info.functions[call.func]
+        renames: Dict[str, ast.Expr] = {}
+        for param, arg in zip(fun.params, call.args):
+            if isinstance(param.ty, ast.TArray) or (
+                isinstance(arg, ast.EVar) and self.info.is_global(arg.name)
+            ):
+                # arrays (and direct global references) substitute syntactically
+                renames[param.name] = arg
+            elif isinstance(arg, (ast.EInt, ast.EBool, ast.EVar)):
+                renames[param.name] = arg
+            else:
+                tmp = self.fresh.fresh(param.name)
+                prefix.append(ast.SLocal(span=call.span, ty=param.ty, name=tmp, init=arg))
+                renames[param.name] = ast.EVar(span=call.span, name=tmp)
+
+        body = _rename_stmts(copy.deepcopy(fun.body), renames, self.fresh)
+        body = returnify(body)
+        body = self._inline_block(body, depth + 1)
+
+        if isinstance(fun.ret, ast.TVoid):
+            prefix.extend(_replace_returns(body, None))
+            return ast.EInt(span=call.span, value=0)
+        result_var = self.fresh.fresh(f"{fun.name}_ret")
+        prefix.append(
+            ast.SLocal(
+                span=call.span, ty=fun.ret, name=result_var, init=ast.EInt(span=call.span, value=0)
+            )
+        )
+        prefix.extend(_replace_returns(body, result_var))
+        return ast.EVar(span=call.span, name=result_var)
+
+
+def inline_program_functions(info: ProgramInfo) -> Dict[str, ast.DHandler]:
+    """Return a mapping of handler name -> handler with all functions inlined."""
+    inliner = Inliner(info)
+    return {name: inliner.inline_handler(handler) for name, handler in info.handlers.items()}

@@ -1,0 +1,550 @@
+"""Normalisation of handler bodies into atomic statements (Section 6.1).
+
+After function inlining, the compiler "uses subexpression elimination to
+reduce a handler's body into a graph of statements that are each simple enough
+to execute with at most one Tofino ALU".  This module performs that reduction:
+
+* every expression is flattened into three-address form — a binary operation
+  over two *operands* (locals or constants) assigned to a destination local;
+* every Array method call becomes a single memory operation whose index is an
+  operand;
+* every ``if`` condition becomes a simple comparison between an operand and a
+  constant or another operand;
+* ``match`` statements are lowered to nested ``if`` chains;
+* ``generate`` statements are resolved to the event being generated, its
+  argument operands, and its delay / location operands (tracking event-typed
+  locals and the ``Event.delay`` / ``Event.locate`` combinators).
+
+The result, a :class:`NormalizedHandler`, is the input of the backend's atomic
+table construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import TypeError_
+from repro.frontend import ast
+from repro.frontend.symbols import ARRAY_METHODS, EVENT_COMBINATORS, ProgramInfo
+from repro.midend.inline import inline_program_functions
+
+
+# ---------------------------------------------------------------------------
+# operands and normalised statements
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Const:
+    """A compile-time integer operand."""
+
+    value: int
+
+    def show(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A local variable (P4 metadata field) operand."""
+
+    name: str
+
+    def show(self) -> str:
+        return self.name
+
+
+Operand = Union[Const, Var]
+
+
+def operand_vars(*operands: Optional[Operand]) -> List[str]:
+    return [op.name for op in operands if isinstance(op, Var)]
+
+
+@dataclass
+class NStmt:
+    """Base class of normalised statements."""
+
+    span: object = field(repr=False, default=None)
+
+
+@dataclass
+class NCopy(NStmt):
+    """``dst = src`` — a move of an operand into a local."""
+
+    dst: str = ""
+    src: Operand = Const(0)
+
+
+@dataclass
+class NOp(NStmt):
+    """``dst = lhs op rhs`` — one stateless ALU operation."""
+
+    dst: str = ""
+    op: ast.BinOp = ast.BinOp.ADD
+    lhs: Operand = Const(0)
+    rhs: Operand = Const(0)
+
+
+@dataclass
+class NHash(NStmt):
+    """``dst = hash<<width>>(args...)`` — one hash-unit invocation."""
+
+    dst: str = ""
+    width: int = 32
+    args: List[Operand] = field(default_factory=list)
+
+
+@dataclass
+class NArrayOp(NStmt):
+    """One stateful-ALU operation on a global register array."""
+
+    method: str = "Array.get"  # Array.get / set / update / getm / setm
+    array: str = ""
+    index: Operand = Const(0)
+    dst: Optional[str] = None
+    memops: List[str] = field(default_factory=list)
+    args: List[Operand] = field(default_factory=list)
+
+
+@dataclass
+class NPrim(NStmt):
+    """A primitive action: drop(), forward(port), flood(), printf(...)."""
+
+    prim: str = "drop"
+    args: List[Operand] = field(default_factory=list)
+
+
+@dataclass
+class NGenerate(NStmt):
+    """A resolved ``generate``: the event name, payload operands, and the
+    delay / location operands applied by combinators."""
+
+    event: str = ""
+    args: List[Operand] = field(default_factory=list)
+    delay: Operand = Const(0)
+    location: Operand = Const(-1)  # -1 == SELF / local
+    group: Optional[str] = None  # named group for multicast
+    multicast: bool = False
+
+
+@dataclass
+class NCond:
+    """A simple branch condition ``lhs op rhs``."""
+
+    lhs: Operand
+    op: ast.BinOp
+    rhs: Operand
+
+    def negate(self) -> "NCond":
+        negations = {
+            ast.BinOp.EQ: ast.BinOp.NEQ,
+            ast.BinOp.NEQ: ast.BinOp.EQ,
+            ast.BinOp.LT: ast.BinOp.GE,
+            ast.BinOp.GE: ast.BinOp.LT,
+            ast.BinOp.GT: ast.BinOp.LE,
+            ast.BinOp.LE: ast.BinOp.GT,
+        }
+        return NCond(self.lhs, negations[self.op], self.rhs)
+
+    def show(self) -> str:
+        return f"{self.lhs.show()} {self.op.value} {self.rhs.show()}"
+
+
+@dataclass
+class NIf(NStmt):
+    """``if (cond) { then } else { else }`` with a simple condition."""
+
+    cond: NCond = None  # type: ignore[assignment]
+    then_body: List[NStmt] = field(default_factory=list)
+    else_body: List[NStmt] = field(default_factory=list)
+
+
+@dataclass
+class NormalizedHandler:
+    """A handler reduced to atomic statements."""
+
+    name: str
+    params: List[str]
+    body: List[NStmt]
+    event_params: List[str] = field(default_factory=list)
+
+    def flat_statements(self) -> List[NStmt]:
+        """All statements in the body, flattening branches (pre-order)."""
+        out: List[NStmt] = []
+
+        def visit(stmts: List[NStmt]) -> None:
+            for stmt in stmts:
+                out.append(stmt)
+                if isinstance(stmt, NIf):
+                    visit(stmt.then_body)
+                    visit(stmt.else_body)
+
+        visit(self.body)
+        return out
+
+    def array_ops(self) -> List[NArrayOp]:
+        return [s for s in self.flat_statements() if isinstance(s, NArrayOp)]
+
+    def generates(self) -> List[NGenerate]:
+        return [s for s in self.flat_statements() if isinstance(s, NGenerate)]
+
+
+# ---------------------------------------------------------------------------
+# event value tracking (for generate resolution)
+# ---------------------------------------------------------------------------
+@dataclass
+class EventValue:
+    """A symbolic event value flowing through normalisation."""
+
+    event: str
+    args: List[Operand]
+    delay: Operand = Const(0)
+    location: Operand = Const(-1)
+    group: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# the normaliser
+# ---------------------------------------------------------------------------
+class Normalizer:
+    """Normalises one handler body; see :func:`normalize_handler`."""
+
+    def __init__(self, info: ProgramInfo, handler_name: str):
+        self.info = info
+        self.handler = handler_name
+        self.counter = itertools.count()
+        self.event_values: Dict[str, EventValue] = {}
+
+    def fresh(self, hint: str = "t") -> str:
+        return f"_n{next(self.counter)}_{hint}"
+
+    # -- expressions -> operands -----------------------------------------
+    def _const_of(self, expr: ast.Expr) -> Optional[int]:
+        if isinstance(expr, ast.EInt):
+            return expr.value
+        if isinstance(expr, ast.EBool):
+            return 1 if expr.value else 0
+        if isinstance(expr, ast.EVar):
+            value = self.info.consts.lookup(expr.name)
+            if value is not None and expr.name not in self.info.globals:
+                return value
+            if expr.name == "SELF":
+                return None
+        return None
+
+    def to_operand(self, expr: ast.Expr, out: List[NStmt]) -> Operand:
+        """Flatten ``expr`` into an operand, emitting helper statements."""
+        const = self._const_of(expr)
+        if const is not None:
+            return Const(const)
+        if isinstance(expr, ast.EVar):
+            return Var(expr.name)
+        if isinstance(expr, ast.EUnary):
+            inner = self.to_operand(expr.operand, out)
+            dst = self.fresh("un")
+            if expr.op is ast.UnOp.NEG:
+                out.append(NOp(span=expr.span, dst=dst, op=ast.BinOp.SUB, lhs=Const(0), rhs=inner))
+            elif expr.op is ast.UnOp.BITNOT:
+                out.append(
+                    NOp(span=expr.span, dst=dst, op=ast.BinOp.BITXOR, lhs=inner, rhs=Const(0xFFFFFFFF))
+                )
+            else:  # NOT
+                out.append(NOp(span=expr.span, dst=dst, op=ast.BinOp.EQ, lhs=inner, rhs=Const(0)))
+            return Var(dst)
+        if isinstance(expr, ast.EBinary):
+            lhs = self.to_operand(expr.left, out)
+            rhs = self.to_operand(expr.right, out)
+            dst = self.fresh("op")
+            out.append(NOp(span=expr.span, dst=dst, op=expr.op, lhs=lhs, rhs=rhs))
+            return Var(dst)
+        if isinstance(expr, ast.ECall):
+            return self._call_to_operand(expr, out)
+        if isinstance(expr, ast.EEvent):
+            # a bare event value used as an operand: materialise and remember it
+            name = self.fresh("ev")
+            self.event_values[name] = self._event_value(expr, out)
+            return Var(name)
+        raise TypeError_("expression cannot be normalised to an operand", getattr(expr, "span", None))
+
+    def _call_to_operand(self, expr: ast.ECall, out: List[NStmt]) -> Operand:
+        func = expr.func
+        if func in ARRAY_METHODS:
+            stmt = self._array_call(expr, out, want_result=True)
+            return Var(stmt.dst) if stmt.dst else Const(0)
+        if func == "hash":
+            args = [self.to_operand(a, out) for a in expr.args]
+            dst = self.fresh("hash")
+            width = expr.size_args[0] if expr.size_args else 32
+            out.append(NHash(span=expr.span, dst=dst, width=width, args=args))
+            return Var(dst)
+        if func in EVENT_COMBINATORS:
+            name = self.fresh("ev")
+            self.event_values[name] = self._combinator_value(expr, out)
+            return Var(name)
+        if func in ("Sys.time", "Sys.self", "Sys.random"):
+            dst = self.fresh(func.split(".")[-1])
+            out.append(NPrim(span=expr.span, prim=func, args=[]))
+            out.append(NCopy(span=expr.span, dst=dst, src=Var(f"__{func.replace('.', '_')}")))
+            return Var(dst)
+        if func in self.info.externs:
+            args = [self.to_operand(a, out) for a in expr.args]
+            dst = self.fresh(func)
+            out.append(NPrim(span=expr.span, prim=f"extern:{func}", args=args))
+            out.append(NCopy(span=expr.span, dst=dst, src=Const(0)))
+            return Var(dst)
+        raise TypeError_(f"call to '{func}' should have been inlined or is unsupported", expr.span)
+
+    def _array_call(self, expr: ast.ECall, out: List[NStmt], want_result: bool) -> NArrayOp:
+        func = expr.func
+        array_arg = expr.args[0]
+        if not isinstance(array_arg, ast.EVar) or not self.info.is_global(array_arg.name):
+            raise TypeError_(
+                f"after inlining, the array argument of {func} must be a global", array_arg.span
+            )
+        index = self.to_operand(expr.args[1], out)
+        rest = expr.args[2:]
+        memops: List[str] = []
+        args: List[Operand] = []
+        for arg in rest:
+            if isinstance(arg, ast.EVar) and self.info.is_memop(arg.name):
+                memops.append(arg.name)
+            else:
+                args.append(self.to_operand(arg, out))
+        dst = self.fresh(f"{array_arg.name}_val") if (
+            want_result or func in ("Array.get", "Array.getm", "Array.update")
+        ) else None
+        stmt = NArrayOp(
+            span=expr.span,
+            method=func,
+            array=array_arg.name,
+            index=index,
+            dst=dst,
+            memops=memops,
+            args=args,
+        )
+        out.append(stmt)
+        return stmt
+
+    # -- event values ------------------------------------------------------
+    def _event_value(self, expr: ast.EEvent, out: List[NStmt]) -> EventValue:
+        args = [self.to_operand(a, out) for a in expr.args]
+        return EventValue(event=expr.name, args=args)
+
+    def _combinator_value(self, expr: ast.ECall, out: List[NStmt]) -> EventValue:
+        base = self._resolve_event_expr(expr.args[0], out)
+        value = EventValue(
+            event=base.event,
+            args=list(base.args),
+            delay=base.delay,
+            location=base.location,
+            group=base.group,
+        )
+        if expr.func == "Event.delay":
+            value.delay = self.to_operand(expr.args[1], out)
+        else:  # Event.locate / Event.sslocate
+            loc = expr.args[1]
+            if isinstance(loc, ast.EVar) and loc.name in self.info.consts.groups:
+                value.group = loc.name
+            elif isinstance(loc, ast.EGroup):
+                group_name = self.fresh("grp")
+                members = []
+                for member in loc.members:
+                    const = self._const_of(member)
+                    if const is None:
+                        raise TypeError_("group literals must contain constants", member.span)
+                    members.append(const)
+                self.info.consts.groups[group_name] = members
+                value.group = group_name
+            else:
+                value.location = self.to_operand(loc, out)
+        return value
+
+    def _resolve_event_expr(self, expr: ast.Expr, out: List[NStmt]) -> EventValue:
+        if isinstance(expr, ast.EEvent):
+            return self._event_value(expr, out)
+        if isinstance(expr, ast.ECall) and expr.func in EVENT_COMBINATORS:
+            return self._combinator_value(expr, out)
+        if isinstance(expr, ast.EVar):
+            if expr.name in self.event_values:
+                return self.event_values[expr.name]
+            raise TypeError_(
+                f"'{expr.name}' does not name an event value created in this handler",
+                expr.span,
+            )
+        raise TypeError_("generate expects an event expression", getattr(expr, "span", None))
+
+    # -- conditions --------------------------------------------------------
+    def _cond_of(self, expr: ast.Expr, out: List[NStmt]) -> NCond:
+        if isinstance(expr, ast.EBinary) and expr.op in (
+            ast.BinOp.EQ,
+            ast.BinOp.NEQ,
+            ast.BinOp.LT,
+            ast.BinOp.GT,
+            ast.BinOp.LE,
+            ast.BinOp.GE,
+        ):
+            lhs = self.to_operand(expr.left, out)
+            rhs = self.to_operand(expr.right, out)
+            return NCond(lhs, expr.op, rhs)
+        if isinstance(expr, ast.EUnary) and expr.op is ast.UnOp.NOT:
+            inner = self._cond_of(expr.operand, out)
+            return inner.negate()
+        # compound or bare conditions: evaluate to an operand and test != 0
+        operand = self.to_operand(expr, out)
+        return NCond(operand, ast.BinOp.NEQ, Const(0))
+
+    # -- statements --------------------------------------------------------
+    def normalize_block(self, stmts: List[ast.Stmt]) -> List[NStmt]:
+        out: List[NStmt] = []
+        for stmt in stmts:
+            self._normalize_stmt(stmt, out)
+        return out
+
+    def _normalize_stmt(self, stmt: ast.Stmt, out: List[NStmt]) -> None:
+        if isinstance(stmt, ast.SNoop):
+            return
+        if isinstance(stmt, ast.SLocal):
+            self._normalize_binding(stmt.name, stmt.init, stmt.span, out)
+            return
+        if isinstance(stmt, ast.SAssign):
+            self._normalize_binding(stmt.name, stmt.value, stmt.span, out)
+            return
+        if isinstance(stmt, ast.SIf):
+            cond = self._cond_of(stmt.cond, out)
+            then_body = self.normalize_block(stmt.then_body)
+            else_body = self.normalize_block(stmt.else_body)
+            out.append(NIf(span=stmt.span, cond=cond, then_body=then_body, else_body=else_body))
+            return
+        if isinstance(stmt, ast.SMatch):
+            out.extend(self._normalize_match(stmt))
+            return
+        if isinstance(stmt, ast.SReturn):
+            if stmt.value is not None:
+                self.to_operand(stmt.value, out)
+            return
+        if isinstance(stmt, ast.SGenerate):
+            value = self._resolve_event_expr(stmt.event, out)
+            out.append(
+                NGenerate(
+                    span=stmt.span,
+                    event=value.event,
+                    args=list(value.args),
+                    delay=value.delay,
+                    location=value.location,
+                    group=value.group,
+                    multicast=stmt.multicast or value.group is not None,
+                )
+            )
+            return
+        if isinstance(stmt, ast.SExpr):
+            self._normalize_effect_expr(stmt.expr, out)
+            return
+        if isinstance(stmt, ast.SSeq):
+            out.extend(self.normalize_block(stmt.body))
+            return
+        raise AssertionError(f"unhandled statement {stmt!r}")
+
+    def _normalize_binding(self, name: str, init: ast.Expr, span, out: List[NStmt]) -> None:
+        # event-typed bindings are tracked symbolically, not materialised
+        if isinstance(init, ast.EEvent):
+            self.event_values[name] = self._event_value(init, out)
+            return
+        if isinstance(init, ast.ECall) and init.func in EVENT_COMBINATORS:
+            self.event_values[name] = self._combinator_value(init, out)
+            return
+        if isinstance(init, ast.EVar) and init.name in self.event_values:
+            self.event_values[name] = self.event_values[init.name]
+            return
+        operand = self.to_operand(init, out)
+        # collapse `x = tmp` where tmp was just computed, by renaming in place
+        if (
+            isinstance(operand, Var)
+            and out
+            and isinstance(out[-1], (NOp, NHash, NCopy, NArrayOp))
+            and getattr(out[-1], "dst", None) == operand.name
+        ):
+            out[-1].dst = name
+        else:
+            out.append(NCopy(span=span, dst=name, src=operand))
+
+    def _normalize_effect_expr(self, expr: ast.Expr, out: List[NStmt]) -> None:
+        if isinstance(expr, ast.ECall):
+            func = expr.func
+            if func in ARRAY_METHODS:
+                self._array_call(expr, out, want_result=False)
+                return
+            if func in ("drop", "forward", "flood", "printf"):
+                args = [
+                    self.to_operand(a, out)
+                    for a in expr.args
+                    if not isinstance(a, ast.EVar) or a.name not in self.event_values
+                ]
+                out.append(NPrim(span=expr.span, prim=func, args=args))
+                return
+            if func in self.info.externs:
+                args = [self.to_operand(a, out) for a in expr.args]
+                out.append(NPrim(span=expr.span, prim=f"extern:{func}", args=args))
+                return
+        # any other expression: evaluate for its (non-)effect
+        self.to_operand(expr, out)
+
+    def _normalize_match(self, stmt: ast.SMatch) -> List[NStmt]:
+        out: List[NStmt] = []
+        scrutinees = [self.to_operand(e, out) for e in stmt.scrutinees]
+
+        def build(branch_idx: int) -> List[NStmt]:
+            if branch_idx >= len(stmt.branches):
+                return []
+            pattern, body = stmt.branches[branch_idx]
+            conds = [
+                NCond(scrutinee, ast.BinOp.EQ, Const(value))
+                for scrutinee, value in zip(scrutinees, pattern)
+                if value is not None
+            ]
+            body_norm = self.normalize_block(body)
+            rest = build(branch_idx + 1)
+            if not conds:
+                return body_norm
+            current = body_norm
+            for cond in reversed(conds):
+                current = [NIf(span=stmt.span, cond=cond, then_body=current, else_body=rest)]
+                rest = []  # only the innermost if carries the else chain
+            return current
+
+        # rebuild with correct else chaining: fold from the last branch backwards
+        chain: List[NStmt] = []
+        for pattern, body in reversed(stmt.branches):
+            conds = [
+                NCond(scrutinee, ast.BinOp.EQ, Const(value))
+                for scrutinee, value in zip(scrutinees, pattern)
+                if value is not None
+            ]
+            body_norm = self.normalize_block(body)
+            if not conds:
+                chain = body_norm
+                continue
+            cond = conds[0]
+            inner = body_norm
+            for extra in conds[1:]:
+                inner = [NIf(span=stmt.span, cond=extra, then_body=inner, else_body=[])]
+            chain = [NIf(span=stmt.span, cond=cond, then_body=inner, else_body=chain)]
+        out.extend(chain)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+def normalize_handler(info: ProgramInfo, handler: ast.DHandler) -> NormalizedHandler:
+    """Normalise one (already inlined) handler."""
+    normalizer = Normalizer(info, handler.name)
+    body = normalizer.normalize_block(handler.body)
+    params = [p.name for p in handler.params]
+    return NormalizedHandler(name=handler.name, params=params, body=body, event_params=params)
+
+
+def normalize_program(info: ProgramInfo) -> Dict[str, NormalizedHandler]:
+    """Inline functions and normalise every handler of a checked program."""
+    inlined = inline_program_functions(info)
+    return {name: normalize_handler(info, handler) for name, handler in inlined.items()}

@@ -1,0 +1,186 @@
+"""Execution of a compiled pipeline layout on a simulated PISA pipeline.
+
+This is the substrate that stands in for the Tofino: it takes the
+:class:`~repro.backend.layout.PipelineLayout` produced by the compiler and
+executes event packets through it, stage by stage, atomic table by atomic
+table — evaluating each table's path conditions against the packet's metadata
+(as the generated match-action rules would) and applying its single operation
+(stateless ALU op, stateful ALU register access, hash, or event generation).
+
+Running the same program through this pipeline executor and through the
+AST-level interpreter (:mod:`repro.interp`) and comparing the resulting
+register state is the repository's main end-to-end check that compilation
+preserves semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.backend.compiler import CompiledProgram
+from repro.backend.layout import PipelineLayout
+from repro.backend.tables import AtomicTable, TableKind
+from repro.errors import SimulationError
+from repro.frontend import ast
+from repro.interp.arrays import RuntimeArray
+from repro.interp.events import LOCAL, EventInstance
+from repro.interp.interpreter import SwitchRuntime, lucid_hash, _apply_binop
+from repro.midend.normalize import (
+    Const,
+    NArrayOp,
+    NCond,
+    NCopy,
+    NGenerate,
+    NHash,
+    NOp,
+    NPrim,
+    Operand,
+    Var,
+)
+
+
+@dataclass
+class PipelinePassResult:
+    """What one packet's pass through the pipeline produced."""
+
+    generated: List[EventInstance] = field(default_factory=list)
+    dropped: bool = False
+    forwarded_port: Optional[int] = None
+    stages_traversed: int = 0
+    tables_executed: int = 0
+
+
+class PisaPipeline:
+    """Executes a compiled program's layout over shared register state."""
+
+    def __init__(self, compiled: CompiledProgram, switch_id: int = 0):
+        self.compiled = compiled
+        self.info = compiled.checked.info
+        self.layout: PipelineLayout = compiled.layout
+        self.switch_id = switch_id
+        # reuse the interpreter's runtime for arrays and compiled memops
+        self.runtime = SwitchRuntime(compiled.checked, switch_id=switch_id)
+
+    # -- state access ---------------------------------------------------------
+    def array(self, name: str) -> RuntimeArray:
+        return self.runtime.array(name)
+
+    # -- execution --------------------------------------------------------------
+    def process(self, event: EventInstance, time_ns: int = 0) -> PipelinePassResult:
+        """Run one event packet through the pipeline (one ingress pass)."""
+        self.runtime.time_ns = time_ns
+        handler = self.info.handlers.get(event.name)
+        result = PipelinePassResult()
+        if handler is None:
+            return result
+        # metadata vector: handler parameters become metadata fields
+        metadata: Dict[str, int] = {
+            param.name: int(arg) for param, arg in zip(handler.params, event.args)
+        }
+        pending_events: Dict[int, EventInstance] = {}
+        for stage in self.layout.stages:
+            stage_executed = 0
+            for merged in stage.merged_tables:
+                for table in merged.members:
+                    if table.handler != event.name:
+                        continue
+                    if not self._conditions_hold(table, metadata):
+                        continue
+                    self._execute_table(table, metadata, result)
+                    stage_executed += 1
+            if stage_executed:
+                result.stages_traversed += 1
+                result.tables_executed += stage_executed
+        return result
+
+    # -- helpers ------------------------------------------------------------------
+    def _operand_value(self, operand: Operand, metadata: Dict[str, int]) -> int:
+        if isinstance(operand, Const):
+            return operand.value
+        if operand.name == "SELF":
+            return self.switch_id
+        if operand.name in metadata:
+            return metadata[operand.name]
+        const = self.info.consts.lookup(operand.name)
+        if const is not None:
+            return const
+        # reading a metadata field that no table has written yet yields zero,
+        # exactly as uninitialised metadata does in hardware
+        return 0
+
+    def _conditions_hold(self, table: AtomicTable, metadata: Dict[str, int]) -> bool:
+        for cond in table.path_conditions:
+            lhs = self._operand_value(cond.lhs, metadata)
+            rhs = self._operand_value(cond.rhs, metadata)
+            if not _apply_binop(cond.op, lhs, rhs):
+                return False
+        return True
+
+    def _execute_table(
+        self, table: AtomicTable, metadata: Dict[str, int], result: PipelinePassResult
+    ) -> None:
+        stmt = table.stmt
+        if isinstance(stmt, NOp):
+            lhs = self._operand_value(stmt.lhs, metadata)
+            rhs = self._operand_value(stmt.rhs, metadata)
+            metadata[stmt.dst] = _apply_binop(stmt.op, lhs, rhs)
+        elif isinstance(stmt, NCopy):
+            metadata[stmt.dst] = self._operand_value(stmt.src, metadata)
+        elif isinstance(stmt, NHash):
+            args = [self._operand_value(a, metadata) for a in stmt.args]
+            metadata[stmt.dst] = lucid_hash(stmt.width, args)
+        elif isinstance(stmt, NArrayOp):
+            self._execute_array_op(stmt, metadata)
+        elif isinstance(stmt, NGenerate):
+            self._execute_generate(stmt, metadata, result)
+        elif isinstance(stmt, NPrim):
+            if stmt.prim == "drop":
+                result.dropped = True
+            elif stmt.prim == "forward" and stmt.args:
+                result.forwarded_port = self._operand_value(stmt.args[0], metadata)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"cannot execute table {table.name}")
+
+    def _execute_array_op(self, stmt: NArrayOp, metadata: Dict[str, int]) -> None:
+        array = self.runtime.array(stmt.array)
+        index = self._operand_value(stmt.index, metadata)
+        args = [self._operand_value(a, metadata) for a in stmt.args]
+        memops = [self.runtime.memop_fn(m) for m in stmt.memops]
+        if stmt.method in ("Array.get", "Array.getm"):
+            memop = memops[0] if memops else None
+            value = array.get(index, memop, args[0] if args else 0)
+            if stmt.dst:
+                metadata[stmt.dst] = value
+        elif stmt.method in ("Array.set", "Array.setm"):
+            if memops:
+                array.set(index, memop=memops[0], arg=args[0] if args else 0)
+            else:
+                array.set(index, value=args[0] if args else 0)
+        elif stmt.method == "Array.update":
+            get_memop = memops[0] if memops else None
+            set_memop = memops[1] if len(memops) > 1 else None
+            get_arg = args[0] if args else 0
+            set_arg = args[1] if len(args) > 1 else (args[0] if args else 0)
+            value = array.update(index, get_memop, get_arg, set_memop, set_arg)
+            if stmt.dst:
+                metadata[stmt.dst] = value
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown array method {stmt.method}")
+
+    def _execute_generate(
+        self, stmt: NGenerate, metadata: Dict[str, int], result: PipelinePassResult
+    ) -> None:
+        args = tuple(self._operand_value(a, metadata) for a in stmt.args)
+        delay = self._operand_value(stmt.delay, metadata)
+        event = EventInstance(name=stmt.event, args=args, source=self.switch_id)
+        if delay:
+            event = event.delay(delay)
+        if stmt.group is not None:
+            members = self.info.consts.groups.get(stmt.group, [])
+            event = event.locate(tuple(members))
+        else:
+            location = self._operand_value(stmt.location, metadata)
+            if location != LOCAL and location != self.switch_id:
+                event = event.locate(location)
+        result.generated.append(event)

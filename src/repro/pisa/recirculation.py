@@ -1,0 +1,73 @@
+"""Recirculation-port bandwidth accounting (Sections 2.5 and 7.3).
+
+A PISA recirculation port has the bandwidth of one front-panel port and shares
+the pipeline's packet-processing budget.  This module tracks how much of that
+budget a control workload consumes, and computes the figures the paper derives
+in its overhead analysis (pipeline utilisation, minimum line-rate packet
+size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.pisa.tofino import MIN_FRAME_BYTES, DEFAULT_TIMING, TofinoTiming
+
+
+@dataclass
+class RecirculationPort:
+    """Accounts packets sent through the recirculation port over time."""
+
+    timing: TofinoTiming = field(default_factory=lambda: DEFAULT_TIMING)
+    packets: int = 0
+    bytes: int = 0
+
+    def recirculate(self, packet_bytes: int = MIN_FRAME_BYTES, passes: int = 1) -> None:
+        self.packets += passes
+        self.bytes += passes * max(MIN_FRAME_BYTES, packet_bytes)
+
+    def bandwidth_bps(self, duration_ns: float) -> float:
+        """Average recirculation bandwidth over ``duration_ns``."""
+        if duration_ns <= 0:
+            return 0.0
+        return self.bytes * 8 / (duration_ns * 1e-9)
+
+    def utilisation(self, duration_ns: float) -> float:
+        """Fraction of the recirculation port's bandwidth consumed."""
+        return min(1.0, self.bandwidth_bps(duration_ns) / self.timing.recirc_bandwidth_bps)
+
+    def reset(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+
+
+@dataclass
+class PipelineBudget:
+    """The packets-per-second budget of an idealised PISA pipeline
+    (Section 7.3's "1B packets per second servicing 10 100 Gb/s ports")."""
+
+    packets_per_second: float = 1e9
+    front_panel_ports: int = 10
+    port_bandwidth_bps: float = 100e9
+
+    def pipeline_utilisation(self, recirc_pkts_per_second: float) -> float:
+        """Fraction of the pipeline's packet budget consumed by recirculation."""
+        return recirc_pkts_per_second / self.packets_per_second
+
+    def min_line_rate_packet_bytes(self, recirc_pkts_per_second: float) -> float:
+        """The smallest average front-panel packet size (bytes) at which the
+        pipeline still sustains line rate on all ports, given the
+        recirculation load.
+
+        With no recirculation the pipeline supports line rate for packets of
+        at least ``total_port_bandwidth / packets_per_second`` bytes (125 B for
+        the idealised processor).  Recirculated packets consume pipeline slots,
+        leaving fewer slots per second for front-panel traffic, so the minimum
+        packet size grows accordingly.
+        """
+        available_pps = self.packets_per_second - recirc_pkts_per_second
+        if available_pps <= 0:
+            return float("inf")
+        total_bps = self.front_panel_ports * self.port_bandwidth_bps
+        return total_bps / 8 / available_pps

@@ -1,0 +1,13 @@
+"""Synthetic workload generators used by the examples and benchmarks."""
+
+from repro.workloads.flows import Flow, FlowWorkload, poisson_flow_arrivals
+from repro.workloads.failures import LinkFailureSchedule
+from repro.workloads.dns import DnsTrafficMix
+
+__all__ = [
+    "Flow",
+    "FlowWorkload",
+    "poisson_flow_arrivals",
+    "LinkFailureSchedule",
+    "DnsTrafficMix",
+]

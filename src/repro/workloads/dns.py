@@ -1,0 +1,69 @@
+"""DNS traffic mixes for the closed-loop DNS-defense application.
+
+A DNS reflection attack sends queries with a spoofed (victim) source address;
+the victim then receives unsolicited responses.  The defense application
+tracks query/response asymmetry per source with sketches and Bloom filters.
+This generator produces a mix of benign query/response pairs and reflected
+responses with no matching query.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class DnsPacket:
+    """One DNS packet: (time, client, server, is_response)."""
+
+    time_ns: int
+    client: int
+    server: int
+    is_response: bool
+    reflected: bool = False
+
+
+@dataclass
+class DnsTrafficMix:
+    """A deterministic mix of benign DNS traffic and reflected responses."""
+
+    packets: List[DnsPacket] = field(default_factory=list)
+
+    @staticmethod
+    def generate(
+        benign_queries: int = 200,
+        reflected_responses: int = 100,
+        clients: int = 64,
+        servers: int = 16,
+        victim: int = 7,
+        duration_ns: int = 10_000_000,
+        seed: int = 11,
+    ) -> "DnsTrafficMix":
+        rng = random.Random(seed)
+        packets: List[DnsPacket] = []
+        for _ in range(benign_queries):
+            t = rng.randrange(duration_ns)
+            client = rng.randrange(clients)
+            server = rng.randrange(servers)
+            packets.append(DnsPacket(time_ns=t, client=client, server=server, is_response=False))
+            packets.append(
+                DnsPacket(time_ns=t + 50_000, client=client, server=server, is_response=True)
+            )
+        for _ in range(reflected_responses):
+            t = rng.randrange(duration_ns)
+            server = rng.randrange(servers)
+            packets.append(
+                DnsPacket(
+                    time_ns=t, client=victim, server=server, is_response=True, reflected=True
+                )
+            )
+        packets.sort(key=lambda p: p.time_ns)
+        return DnsTrafficMix(packets=packets)
+
+    def benign(self) -> List[DnsPacket]:
+        return [p for p in self.packets if not p.reflected]
+
+    def reflected(self) -> List[DnsPacket]:
+        return [p for p in self.packets if p.reflected]

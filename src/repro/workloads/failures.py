@@ -1,0 +1,53 @@
+"""Link-failure schedules for the fast rerouter and RIP applications."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """One link failing (and optionally recovering)."""
+
+    link: Tuple[int, int]
+    fail_at_ns: int
+    recover_at_ns: Optional[int] = None
+
+
+@dataclass
+class LinkFailureSchedule:
+    """A reproducible schedule of link failures."""
+
+    failures: List[LinkFailure] = field(default_factory=list)
+
+    def failed_links(self, now_ns: int) -> List[Tuple[int, int]]:
+        """Links that are down at ``now_ns``."""
+        down = []
+        for failure in self.failures:
+            if failure.fail_at_ns <= now_ns and (
+                failure.recover_at_ns is None or now_ns < failure.recover_at_ns
+            ):
+                down.append(failure.link)
+        return down
+
+    @staticmethod
+    def random_failures(
+        links: List[Tuple[int, int]],
+        count: int,
+        window_ns: int,
+        mean_downtime_ns: int = 5_000_000,
+        seed: int = 7,
+    ) -> "LinkFailureSchedule":
+        rng = random.Random(seed)
+        failures = []
+        for _ in range(count):
+            link = rng.choice(links)
+            fail_at = rng.randrange(window_ns)
+            downtime = int(rng.expovariate(1.0 / mean_downtime_ns))
+            failures.append(
+                LinkFailure(link=link, fail_at_ns=fail_at, recover_at_ns=fail_at + downtime)
+            )
+        failures.sort(key=lambda f: f.fail_at_ns)
+        return LinkFailureSchedule(failures=failures)

@@ -1,0 +1,234 @@
+"""Tests for the mid-end and backend: inlining, normalisation, table graphs,
+branch inlining, data-flow reordering, greedy merging, and P4 generation."""
+
+import pytest
+
+from repro.backend import (
+    CompilerOptions,
+    MergeOptions,
+    TableKind,
+    build_layout,
+    build_table_graph,
+    compile_program,
+    count_lucid_loc,
+)
+from repro.backend.branch_elim import inline_branch_conditions
+from repro.backend.reorder import build_dataflow_graph
+from repro.errors import LayoutError
+from repro.frontend import check_program
+from repro.midend import normalize_program
+from repro.midend.normalize import NArrayOp, NGenerate, NIf, NOp
+
+
+FIGURE6 = """
+const int NUM_HOSTS = 64;
+const int NUM_PORTS = 16;
+const int NUM_PORTS_X2 = 32;
+const int NUM_PORTS_X3 = 48;
+global nexthops = new Array<<32>>(NUM_HOSTS);
+global pcts = new Array<<32>>(NUM_PORTS_X3);
+global hcts = new Array<<32>>(NUM_HOSTS);
+memop plus(int cur, int x){return cur + x;}
+event count_pkt(int dst, int proto);
+handle count_pkt(int dst, int proto) {
+  int idx = Array.get(nexthops, dst);
+  if (proto != TCP) {
+    if (proto == UDP) {
+      idx = idx + NUM_PORTS;
+    } else {
+      idx = idx + NUM_PORTS_X2;
+    }
+  }
+  Array.set(pcts, idx, plus, 1);
+  if (proto == TCP) {
+    Array.set(hcts, dst, plus, 1);
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def figure6_compiled():
+    return compile_program(FIGURE6, name="figure6")
+
+
+@pytest.fixture(scope="module")
+def figure6_normalized():
+    checked = check_program(FIGURE6)
+    return checked, normalize_program(checked.info)
+
+
+# -- normalisation ---------------------------------------------------------------
+def test_normalized_handler_has_atomic_statements(figure6_normalized):
+    _, normalized = figure6_normalized
+    handler = normalized["count_pkt"]
+    kinds = {type(s) for s in handler.flat_statements()}
+    assert kinds <= {NOp, NArrayOp, NIf, NGenerate} | kinds
+    assert len(handler.array_ops()) == 3
+
+
+def test_normalized_conditions_are_simple(figure6_normalized):
+    _, normalized = figure6_normalized
+    for stmt in normalized["count_pkt"].flat_statements():
+        if isinstance(stmt, NIf):
+            assert stmt.cond.op.value in ("==", "!=", "<", ">", "<=", ">=")
+
+
+def test_function_inlining_removes_calls():
+    source = """
+    global t0 = new Array<<32>>(8);
+    global t1 = new Array<<32>>(8);
+    memop plus(int a, int b) { return a + b; }
+    fun int bump(Array<<32>> arr, int i) { return Array.get(arr, i, plus, 1); }
+    event e(int i);
+    handle e(int i) { int v = bump(t0, i); int w = bump(t1, v); }
+    """
+    checked = check_program(source)
+    normalized = normalize_program(checked.info)
+    ops = normalized["e"].array_ops()
+    assert len(ops) == 2 and {op.array for op in ops} == {"t0", "t1"}
+
+
+def test_generate_resolution_tracks_delay_and_location():
+    source = """
+    const group PEERS = {2, 3};
+    event ping(int x);
+    event pong(int x);
+    handle ping(int x) {
+      event p = pong(x);
+      generate Event.delay(Event.locate(p, 5), 10ms);
+      mgenerate Event.locate(pong(x), PEERS);
+    }
+    """
+    checked = check_program(source)
+    gens = normalize_program(checked.info)["ping"].generates()
+    assert len(gens) == 2
+    delayed = gens[0]
+    assert delayed.event == "pong"
+    assert getattr(delayed.delay, "value", None) == 10_000_000
+    assert getattr(delayed.location, "value", None) == 5
+    assert gens[1].group == "PEERS" and gens[1].multicast
+
+
+# -- table graph ---------------------------------------------------------------------
+def test_table_graph_kinds_and_longest_path(figure6_normalized):
+    _, normalized = figure6_normalized
+    graph = build_table_graph(normalized["count_pkt"])
+    kinds = [t.kind for t in graph.tables]
+    assert kinds.count(TableKind.MEMORY) == 3
+    assert kinds.count(TableKind.BRANCH) >= 2
+    # the longest control path includes the branch tables (unoptimised cost)
+    assert graph.longest_path_length() >= 6
+
+
+def test_branch_inlining_removes_branch_tables(figure6_normalized):
+    _, normalized = figure6_normalized
+    graph = build_table_graph(normalized["count_pkt"])
+    ordered = inline_branch_conditions(graph)
+    assert all(t.kind is not TableKind.BRANCH for t in ordered)
+    # the idx adjustments only run on non-TCP paths
+    conditional = [t for t in ordered if t.path_conditions]
+    assert conditional, "some tables should carry path conditions"
+
+
+def test_table_after_join_has_no_conditions(figure6_normalized):
+    _, normalized = figure6_normalized
+    graph = build_table_graph(normalized["count_pkt"])
+    ordered = inline_branch_conditions(graph)
+    pcts_tables = [t for t in ordered if t.array == "pcts"]
+    assert pcts_tables and pcts_tables[0].path_conditions == []
+
+
+def test_dataflow_graph_orders_raw_dependencies(figure6_normalized):
+    _, normalized = figure6_normalized
+    graph = build_table_graph(normalized["count_pkt"])
+    ordered = inline_branch_conditions(graph)
+    dataflow = build_dataflow_graph(ordered)
+    raw = [d for d in dataflow.deps if d.kind == "raw"]
+    assert raw, "reading idx after writing it must create RAW dependencies"
+
+
+def test_mutually_exclusive_branches_share_a_stage(figure6_compiled):
+    # Figure 6(3): the two idx adjustments are in exclusive branches and the
+    # optimised layout needs only 3 stages
+    assert figure6_compiled.stages() == 3
+
+
+# -- layout / optimisation -------------------------------------------------------------
+def test_optimized_layout_uses_fewer_stages_than_unoptimized(figure6_compiled):
+    assert figure6_compiled.stages() < figure6_compiled.unoptimized_stages()
+    assert figure6_compiled.stage_ratio() > 1.0
+
+
+def test_array_stages_follow_declaration_order(figure6_compiled):
+    stages = figure6_compiled.layout.array_stages
+    assert stages["nexthops"] <= stages["pcts"]
+
+
+def test_unoptimized_option_places_one_table_per_stage():
+    checked = check_program(FIGURE6)
+    normalized = normalize_program(checked.info)
+    layout = build_layout(checked.info, normalized, options=MergeOptions(optimize=False, merge_tables=False))
+    assert layout.num_stages() >= layout.total_atomic_tables() - 2  # branch-free tables, 1 per stage
+
+
+def test_merge_without_reordering_is_worse_or_equal():
+    checked = check_program(FIGURE6)
+    normalized = normalize_program(checked.info)
+    full = build_layout(checked.info, normalized, options=MergeOptions())
+    no_reorder = build_layout(checked.info, normalized, options=MergeOptions(reorder=False))
+    assert no_reorder.num_stages() >= full.num_stages()
+
+
+def test_stage_limit_enforcement():
+    # a long chain of dependent arrays cannot fit a 3-stage target
+    decls = "\n".join(f"global g{i} = new Array<<32>>(8);" for i in range(6))
+    chain = " ".join(
+        f"int v{i+1} = Array.get(g{i}, v{i});" for i in range(6)
+    )
+    source = f"{decls}\nevent e(int v0);\nhandle e(int v0) {{ {chain} }}"
+    from repro.backend.resources import TofinoModel
+
+    options = CompilerOptions(target=TofinoModel(num_stages=3), enforce_stage_limit=True)
+    with pytest.raises(LayoutError):
+        compile_program(source, options=options)
+
+
+def test_alu_instructions_per_stage_counts_all_tables(figure6_compiled):
+    per_stage = figure6_compiled.alu_instructions_per_stage()
+    assert sum(per_stage) == figure6_compiled.layout.total_atomic_tables()
+    assert max(per_stage) >= 2  # nexthops_get and hcts_fset share stage 0
+
+
+# -- P4 generation -----------------------------------------------------------------------
+def test_p4_contains_register_per_global(figure6_compiled):
+    text = figure6_compiled.p4.full_text()
+    for name in ("reg_nexthops", "reg_pcts", "reg_hcts"):
+        assert name in text
+
+
+def test_p4_contains_event_header_and_parser(figure6_compiled):
+    text = figure6_compiled.p4.full_text()
+    assert "header ev_count_pkt_t" in text
+    assert "parse_ev_count_pkt" in text
+    assert "event_dispatcher" in text
+
+
+def test_p4_register_action_reflects_memop(figure6_compiled):
+    text = figure6_compiled.p4.full_text()
+    assert "RegisterAction" in text and "mem = mem + 1" in text.replace("  ", " ")
+
+
+def test_p4_line_counts_sum_to_total(figure6_compiled):
+    counts = figure6_compiled.p4.line_counts()
+    assert counts["total"] == sum(v for k, v in counts.items() if k != "total")
+
+
+def test_naive_p4_is_longer_than_compiler_p4():
+    compiled = compile_program(FIGURE6, options=CompilerOptions(emit_naive_p4=True))
+    assert compiled.naive_p4_loc() >= compiled.p4_loc()
+
+
+def test_lucid_loc_ignores_comments_and_blank_lines():
+    source = "// comment\n\nconst int X = 1;\n/* block\ncomment */\nconst int Y = 2;\n"
+    assert count_lucid_loc(source) == 2

@@ -1,0 +1,157 @@
+"""Property-based tests of the Appendix A core calculus: progress and
+preservation (soundness) of the ordered type-and-effect system."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal import (
+    App,
+    Deref,
+    Fun,
+    GlobalVar,
+    IntLit,
+    Let,
+    Plus,
+    TInt,
+    TypeCheckError,
+    UnitLit,
+    Update,
+    Var,
+    run,
+    step,
+    typecheck,
+)
+from repro.formal.calculus import State, StuckError, is_value
+
+GLOBALS = [TInt(), TInt(), TInt()]  # three ordered Int globals g0, g1, g2
+
+
+# ---------------------------------------------------------------------------
+# hand-written examples
+# ---------------------------------------------------------------------------
+def test_in_order_reads_typecheck():
+    expr = Plus(Deref(GlobalVar(0)), Deref(GlobalVar(1)))
+    ty, stage = typecheck(expr, 0, {}, GLOBALS)
+    assert isinstance(ty, TInt) and stage == 2
+
+
+def test_out_of_order_reads_rejected():
+    expr = Plus(Deref(GlobalVar(1)), Deref(GlobalVar(0)))
+    with pytest.raises(TypeCheckError):
+        typecheck(expr, 0, {}, GLOBALS)
+
+
+def test_double_access_rejected():
+    expr = Plus(Deref(GlobalVar(0)), Deref(GlobalVar(0)))
+    with pytest.raises(TypeCheckError):
+        typecheck(expr, 0, {}, GLOBALS)
+
+
+def test_update_then_later_read_ok():
+    expr = Let("_", Update(GlobalVar(0), IntLit(5)), Deref(GlobalVar(2)))
+    ty, stage = typecheck(expr, 0, {}, GLOBALS)
+    assert stage == 3
+
+
+def test_function_effect_annotation_enforced():
+    # a function that reads g0 must not be applied after g1 was read
+    f = Fun("x", TInt(), 0, Plus(Var("x"), Deref(GlobalVar(0))))
+    good = App(f, IntLit(1))
+    assert typecheck(good, 0, {}, GLOBALS)[1] == 1
+    bad = Let("a", Deref(GlobalVar(1)), App(f, Var("a")))
+    with pytest.raises(TypeCheckError):
+        typecheck(bad, 0, {}, GLOBALS)
+
+
+def test_evaluation_of_well_typed_program():
+    expr = Let("x", Deref(GlobalVar(0)), Plus(Var("x"), Deref(GlobalVar(1))))
+    final = run(expr, store=[10, 20, 30])
+    assert final.expr == IntLit(30)
+    assert final.next_stage == 2
+
+
+def test_update_writes_the_store():
+    expr = Update(GlobalVar(1), Plus(IntLit(2), IntLit(3)))
+    final = run(expr, store=[0, 0, 0])
+    assert final.store == [0, 5, 0]
+    assert final.expr == UnitLit()
+
+
+def test_ill_typed_program_can_get_stuck():
+    expr = Plus(Deref(GlobalVar(1)), Deref(GlobalVar(0)))
+    with pytest.raises(StuckError):
+        run(expr, store=[1, 2, 3])
+
+
+# ---------------------------------------------------------------------------
+# random well-typed program generation
+# ---------------------------------------------------------------------------
+def int_exprs(depth, stage_budget):
+    """Generate expressions of type Int whose accesses start at or after
+    ``stage_budget`` (so the whole program is well-typed from stage 0)."""
+    leaf = st.integers(min_value=0, max_value=100).map(IntLit)
+    if depth == 0:
+        return leaf
+    sub = int_exprs(depth - 1, stage_budget)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, sub).map(lambda lr: Plus(*lr)),
+        st.tuples(st.sampled_from(["x", "y", "z"]), sub, sub).map(
+            lambda t: Let(t[0], t[1], Plus(IntLit(1), t[2]))
+        ),
+    )
+
+
+@st.composite
+def well_typed_programs(draw):
+    """A program that reads/writes the globals strictly in order, with pure
+    integer arithmetic in between."""
+    pieces = []
+    for index in range(3):
+        action = draw(st.sampled_from(["read", "write", "skip"]))
+        if action == "read":
+            pieces.append(Deref(GlobalVar(index)))
+        elif action == "write":
+            value = draw(int_exprs(1, index))
+            pieces.append(Let("_", Update(GlobalVar(index), value), IntLit(index)))
+    expr = draw(int_exprs(2, 0))
+    # fold so that the access to g0 is evaluated first (outermost binding),
+    # keeping the whole program well-ordered from stage 0
+    for piece in reversed(pieces):
+        expr = Let("tmp", piece, Plus(IntLit(1), expr))
+    return expr
+
+
+@settings(max_examples=150, deadline=None)
+@given(well_typed_programs(), st.lists(st.integers(0, 1000), min_size=3, max_size=3))
+def test_soundness_well_typed_programs_do_not_get_stuck(expr, store):
+    """Progress + preservation: a well-typed program evaluates to a value."""
+    ty, _ = typecheck(expr, 0, {}, GLOBALS)
+    final = run(expr, store=store)
+    assert is_value(final.expr)
+    assert isinstance(ty, TInt) == isinstance(final.expr, IntLit)
+
+
+@settings(max_examples=100, deadline=None)
+@given(well_typed_programs(), st.lists(st.integers(0, 1000), min_size=3, max_size=3))
+def test_preservation_every_intermediate_state_is_well_typed(expr, store):
+    """Single-stepping a well-typed program keeps it well-typed (at a possibly
+    later starting stage), mirroring the preservation proof of Appendix B."""
+    typecheck(expr, 0, {}, GLOBALS)
+    state = State(list(store), 0, expr)
+    for _ in range(200):
+        if is_value(state.expr):
+            break
+        state = step(state)
+        # the remaining program must typecheck from the machine's current stage
+        typecheck(state.expr, state.next_stage, {}, GLOBALS)
+    assert is_value(state.expr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=3, max_size=3))
+def test_store_values_only_change_through_updates(store):
+    expr = Let("_", Update(GlobalVar(0), IntLit(9)), Deref(GlobalVar(2)))
+    final = run(expr, store=store)
+    assert final.store[0] == 9
+    assert final.store[1] == store[1] and final.store[2] == store[2]

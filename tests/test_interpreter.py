@@ -1,0 +1,274 @@
+"""Tests for the interpreter, runtime arrays, events, and the network simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InterpError
+from repro.frontend import check_program
+from repro.interp import (
+    EventInstance,
+    Network,
+    RuntimeArray,
+    SchedulerConfig,
+    lucid_hash,
+    single_switch_network,
+)
+
+
+# ---------------------------------------------------------------------------
+# runtime arrays (property-based)
+# ---------------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=2**40))
+def test_array_set_get_roundtrip(size, value):
+    array = RuntimeArray(name="t", size=size, cell_width=32)
+    array.set(0, value=value)
+    assert array.get(0) == value & 0xFFFFFFFF
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**31), min_size=1, max_size=50))
+def test_array_update_returns_old_value_and_stores_new(values):
+    array = RuntimeArray(name="t", size=4, cell_width=32)
+    previous = 0
+    for value in values:
+        old = array.update(1, lambda cur, a: cur, 0, lambda cur, a: a, value)
+        assert old == previous
+        previous = value
+    assert array.get(1) == previous
+
+
+@given(st.integers(), st.integers(min_value=1, max_value=128))
+def test_array_index_wraps_like_hardware(index, size):
+    array = RuntimeArray(name="t", size=size, cell_width=32)
+    array.set(index, value=7)
+    assert array.get(index) == 7
+
+
+def test_array_cells_respect_width():
+    array = RuntimeArray(name="t", size=2, cell_width=8)
+    array.set(0, value=0x1FF)
+    assert array.get(0) == 0xFF
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=20))
+def test_hash_is_deterministic_and_width_bounded(args):
+    a = lucid_hash(16, args)
+    b = lucid_hash(16, args)
+    assert a == b and 0 <= a < 2 ** 16
+
+
+def test_hash_differs_for_different_seeds():
+    assert lucid_hash(32, [1, 2], seed=1) != lucid_hash(32, [1, 2], seed=2)
+
+
+# ---------------------------------------------------------------------------
+# event values / combinators
+# ---------------------------------------------------------------------------
+def test_event_delay_accumulates():
+    e = EventInstance("x", (1,)).delay(100).delay(50)
+    assert e.delay_ns == 150
+
+
+def test_event_locate_single_and_group():
+    assert EventInstance("x").locate(4).targets(0) == [4]
+    assert EventInstance("x").locate((1, 2, 3)).targets(0) == [1, 2, 3]
+
+
+def test_event_local_targets_self():
+    assert EventInstance("x").targets(9) == [9]
+
+
+def test_event_payload_has_minimum_frame_size():
+    assert EventInstance("x", ()).payload_bytes() == 64
+    assert EventInstance("x", tuple(range(32))).payload_bytes() > 64
+
+
+# ---------------------------------------------------------------------------
+# interpreter semantics
+# ---------------------------------------------------------------------------
+COUNTER = """
+const int SIZE = 8;
+global counts = new Array<<32>>(SIZE);
+global totals = new Array<<32>>(4);
+memop plus(int stored, int x) { return stored + x; }
+memop keep(int stored, int x) { return stored; }
+event pkt(int dst, int len);
+event roll(int idx);
+handle pkt(int dst, int len) {
+  int c = Array.update(counts, dst, plus, 1, plus, 1);
+  if (c > 3) {
+    Array.set(totals, 0, plus, len);
+    generate roll(dst);
+  }
+  forward(2);
+}
+handle roll(int idx) {
+  int seen = Array.get(counts, idx);
+  printf(seen);
+}
+"""
+
+
+def make_counter_network():
+    return single_switch_network(check_program(COUNTER))
+
+
+def test_interpreter_updates_arrays_and_forwards():
+    network, switch = make_counter_network()
+    for i in range(3):
+        network.inject(0, EventInstance("pkt", (1, 100)))
+    network.run()
+    assert switch.array("counts").get(1) == 3
+    assert switch.array("totals").get(0) == 0
+    assert switch.stats.events_handled == 3
+
+
+def test_interpreter_condition_triggers_generate_and_recirculation():
+    network, switch = make_counter_network()
+    for _ in range(5):
+        network.inject(0, EventInstance("pkt", (2, 10)))
+    network.run()
+    assert switch.array("totals").get(0) == 20  # 4th and 5th packets
+    assert switch.stats.recirculations == 2
+    assert switch.stats.handled_by_event.get("roll") == 2
+    assert switch.log  # printf output captured
+
+
+def test_interpreter_rejects_wrong_arity_events():
+    network, switch = make_counter_network()
+    network.inject(0, EventInstance("pkt", (1,)))
+    with pytest.raises(InterpError):
+        network.run()
+
+
+def test_events_without_handlers_are_silently_consumed():
+    source = "event out(int a); event seen(int a); handle seen(int a) { generate out(a); }"
+    network, switch = single_switch_network(check_program(source))
+    network.inject(0, EventInstance("seen", (1,)))
+    network.run()
+    assert switch.stats.events_handled == 2  # seen + out (no-op handler)
+
+
+def test_short_circuit_evaluation_matches_lucid_semantics():
+    source = """
+    global t_and = new Array<<32>>(4);
+    global t_or = new Array<<32>>(4);
+    event e(int a, int b);
+    handle e(int a, int b) {
+      if (a == 1 && b == 1) { Array.set(t_and, 0, 1); }
+      if (a == 1 || b == 9) { Array.set(t_or, 0, 1); }
+    }
+    """
+    network, switch = single_switch_network(check_program(source))
+    network.inject(0, EventInstance("e", (1, 0)))
+    network.run()
+    assert switch.array("t_and").get(0) == 0 and switch.array("t_or").get(0) == 1
+
+
+def test_match_statement_execution():
+    source = """
+    global t = new Array<<32>>(4);
+    event e(int a, int b);
+    handle e(int a, int b) {
+      match (a, b) with
+      | 1, _ -> { Array.set(t, 0, 10); }
+      | _, 2 -> { Array.set(t, 1, 20); }
+      | _, _ -> { Array.set(t, 2, 30); }
+    }
+    """
+    checked = check_program(source)
+    network, switch = single_switch_network(checked)
+    network.inject(0, EventInstance("e", (1, 5)))
+    network.inject(0, EventInstance("e", (0, 2)))
+    network.inject(0, EventInstance("e", (0, 0)))
+    network.run()
+    assert switch.array("t").snapshot()[:3] == [10, 20, 30]
+
+
+def test_extern_binding_is_called():
+    source = "extern fun int report(int v); event e(int v); handle e(int v) { int x = report(v); }"
+    network, switch = single_switch_network(check_program(source))
+    calls = []
+    switch.bind_extern("report", lambda v: calls.append(v) or 0)
+    network.inject(0, EventInstance("e", (42,)))
+    network.run()
+    assert calls == [42]
+
+
+# ---------------------------------------------------------------------------
+# network scheduling
+# ---------------------------------------------------------------------------
+PINGPONG = """
+event ping(int hops);
+event pong(int hops);
+handle ping(int hops) { generate Event.locate(pong(hops + 1), 1); }
+handle pong(int hops) { drop(); }
+"""
+
+
+def test_remote_events_incur_link_latency():
+    checked = check_program(PINGPONG)
+    network = Network(SchedulerConfig(link_latency_ns=5_000))
+    network.add_switch(0, checked)
+    network.add_switch(1, checked)
+    network.add_link(0, 1, latency_ns=5_000)
+    network.inject(0, EventInstance("ping", (0,)), at_ns=0)
+    network.run()
+    pong = [t for t in network.trace if t.event.name == "pong"][0]
+    assert pong.switch_id == 1
+    assert pong.time_ns >= 5_000
+
+
+def test_local_generates_incur_recirculation_latency():
+    source = "event a(); event b(); handle a() { generate b(); } handle b() { drop(); }"
+    network, switch = single_switch_network(check_program(source))
+    network.inject(0, EventInstance("a", ()), at_ns=0)
+    network.run()
+    b = [t for t in network.trace if t.event.name == "b"][0]
+    assert b.time_ns == network.config.recirculation_latency_ns
+    assert switch.stats.recirculations == 1
+
+
+def test_delayed_events_are_quantised_by_the_delay_queue():
+    source = "event a(); event b(); handle a() { generate Event.delay(b(), 150us); } handle b() { drop(); }"
+    config = SchedulerConfig(delay_release_interval_ns=100_000, use_delay_queue=True)
+    network, _ = single_switch_network(check_program(source), config=config)
+    network.inject(0, EventInstance("a", ()), at_ns=0)
+    network.run()
+    b = [t for t in network.trace if t.event.name == "b"][0]
+    assert b.time_ns >= 200_000  # rounded up to the next release interval
+
+
+def test_delay_without_queue_consumes_recirculation_bandwidth():
+    source = "event a(); event b(); handle a() { generate Event.delay(b(), 60us); } handle b() { drop(); }"
+    config = SchedulerConfig(use_delay_queue=False)
+    network, switch = single_switch_network(check_program(source), config=config)
+    network.inject(0, EventInstance("a", ()), at_ns=0)
+    network.run()
+    assert switch.stats.recirculations > 50  # ~one pass per 600 ns of delay
+
+
+def test_multicast_generates_reach_every_group_member():
+    source = """
+    const group ALL = {0, 1, 2};
+    global hits = new Array<<32>>(4);
+    event seed();
+    event mark(int x);
+    handle seed() { mgenerate Event.locate(mark(1), ALL); }
+    handle mark(int x) { Array.set(hits, 0, x); }
+    """
+    checked = check_program(source)
+    network = Network()
+    for sid in range(3):
+        network.add_switch(sid, checked)
+    network.inject(0, EventInstance("seed", ()))
+    network.run()
+    assert all(network.switch(sid).array("hits").get(0) == 1 for sid in range(3))
+
+
+def test_run_until_time_bound_stops_early():
+    source = "event tick(int n); handle tick(int n) { generate Event.delay(tick(n + 1), 1ms); }"
+    network, switch = single_switch_network(check_program(source))
+    network.inject(0, EventInstance("tick", (0,)), at_ns=0)
+    network.run(until_ns=10_500_000)
+    assert 8 <= switch.stats.events_handled <= 12
+    assert network.pending_events() == 1

@@ -1,0 +1,239 @@
+"""Tests for the lexer and parser."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.frontend import ast, parse_expression, parse_program, tokenize
+from repro.frontend.tokens import TokenKind
+
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def test_lex_integers_decimal():
+    toks = tokenize("42")
+    assert toks[0].kind is TokenKind.INT and toks[0].value == 42
+
+
+def test_lex_integers_hex():
+    assert tokenize("0xff")[0].value == 255
+
+
+def test_lex_integers_binary():
+    assert tokenize("0b1010")[0].value == 10
+
+
+@pytest.mark.parametrize(
+    "literal,expected_ns",
+    [("5ns", 5), ("3us", 3_000), ("10ms", 10_000_000), ("2s", 2_000_000_000)],
+)
+def test_lex_time_suffixes_normalise_to_ns(literal, expected_ns):
+    assert tokenize(literal)[0].value == expected_ns
+
+
+def test_lex_unknown_suffix_rejected():
+    with pytest.raises(LexError):
+        tokenize("10parsecs")
+
+
+def test_lex_keywords_vs_identifiers():
+    assert kinds("handle handler") == [TokenKind.KW_HANDLE, TokenKind.IDENT]
+
+
+def test_lex_two_char_operators():
+    assert kinds("== != <= >= && ||") == [
+        TokenKind.EQ,
+        TokenKind.NEQ,
+        TokenKind.LE,
+        TokenKind.GE,
+        TokenKind.AND,
+        TokenKind.OR,
+    ]
+
+
+def test_lex_size_brackets():
+    assert kinds("Array<<32>>") == [TokenKind.IDENT, TokenKind.LSHIFT_SIZE, TokenKind.INT, TokenKind.RSHIFT_SIZE]
+
+
+def test_lex_line_comments_skipped():
+    assert kinds("1 // two three\n4") == [TokenKind.INT, TokenKind.INT]
+
+
+def test_lex_block_comments_skipped():
+    assert kinds("1 /* 2\n 3 */ 4") == [TokenKind.INT, TokenKind.INT]
+
+
+def test_lex_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_lex_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("int x = $1;")
+
+
+def test_lex_positions_are_tracked():
+    toks = tokenize("a\n  b")
+    assert toks[1].span.line == 2 and toks[1].span.column == 3
+
+
+# ---------------------------------------------------------------------------
+# parser: expressions
+# ---------------------------------------------------------------------------
+def test_parse_precedence_mul_over_add():
+    expr = parse_expression("1 + 2 * 3")
+    assert isinstance(expr, ast.EBinary) and expr.op is ast.BinOp.ADD
+    assert isinstance(expr.right, ast.EBinary) and expr.right.op is ast.BinOp.MUL
+
+
+def test_parse_precedence_cmp_over_and():
+    expr = parse_expression("a == 1 && b == 2")
+    assert expr.op is ast.BinOp.AND
+    assert expr.left.op is ast.BinOp.EQ and expr.right.op is ast.BinOp.EQ
+
+
+def test_parse_parentheses_override_precedence():
+    expr = parse_expression("(1 + 2) * 3")
+    assert expr.op is ast.BinOp.MUL and expr.left.op is ast.BinOp.ADD
+
+
+def test_parse_unary_operators():
+    expr = parse_expression("!x")
+    assert isinstance(expr, ast.EUnary) and expr.op is ast.UnOp.NOT
+
+
+def test_parse_dotted_call():
+    expr = parse_expression("Array.get(tbl, 3)")
+    assert isinstance(expr, ast.ECall) and expr.func == "Array.get" and len(expr.args) == 2
+
+
+def test_parse_hash_with_size_args():
+    expr = parse_expression("hash<<16>>(a, b)")
+    assert isinstance(expr, ast.ECall) and expr.size_args == [16]
+
+
+def test_parse_shift_still_works_outside_calls():
+    expr = parse_expression("a << 2")
+    assert isinstance(expr, ast.EBinary) and expr.op is ast.BinOp.SHL
+
+
+def test_parse_nested_event_combinators():
+    expr = parse_expression("Event.delay(Event.locate(ping(1), 3), 10ms)")
+    assert expr.func == "Event.delay"
+    inner = expr.args[0]
+    assert inner.func == "Event.locate" and inner.args[0].func == "ping"
+
+
+def test_parse_dotted_name_must_be_called():
+    with pytest.raises(ParseError):
+        parse_expression("Array.get")
+
+
+# ---------------------------------------------------------------------------
+# parser: declarations and statements
+# ---------------------------------------------------------------------------
+FULL_PROGRAM = """
+const int SIZE = 16;
+const group PEERS = {1, 2, 3};
+symbolic size COLS = 512;
+global tbl = new Array<<32>>(SIZE);
+extern fun int report(int value);
+memop plus(int stored, int x) { return stored + x; }
+fun int bump(int idx) { return Array.get(tbl, idx, plus, 1); }
+event pkt(int src, int dst);
+handle pkt(int src, int dst) {
+  int x = bump(src);
+  if (x > 10) {
+    generate Event.locate(pkt(src, dst), PEERS);
+  } else {
+    drop();
+  }
+}
+"""
+
+
+def test_parse_full_program_declaration_counts():
+    program = parse_program(FULL_PROGRAM)
+    assert len(program.consts()) == 2
+    assert len(program.symbolics()) == 1
+    assert len(program.globals()) == 1
+    assert len(program.externs()) == 1
+    assert len(program.memops()) == 1
+    assert len(program.functions()) == 1
+    assert len(program.events()) == 1
+    assert len(program.handlers()) == 1
+
+
+def test_parse_global_declaration_width_and_size_expr():
+    program = parse_program("global t = new Array<<16>>(4 * 8);")
+    g = program.globals()[0]
+    assert g.cell_width == 16
+    assert isinstance(g.size_expr, ast.EBinary)
+
+
+def test_parse_array_shorthand_without_global_keyword():
+    program = parse_program("Array nexthops = new Array<<32>>(8);")
+    assert program.globals()[0].name == "nexthops"
+
+
+def test_parse_group_constant():
+    program = parse_program("const group G = {4, 5};")
+    const = program.consts()[0]
+    assert isinstance(const.value, ast.EGroup) and len(const.value.members) == 2
+
+
+def test_parse_if_else_chain():
+    program = parse_program(
+        "event e(int a); handle e(int a) { if (a == 1) { drop(); } else if (a == 2) { drop(); } else { drop(); } }"
+    )
+    handler = program.handlers()[0]
+    outer = handler.body[0]
+    assert isinstance(outer, ast.SIf)
+    assert isinstance(outer.else_body[0], ast.SIf)
+
+
+def test_parse_match_statement():
+    program = parse_program(
+        "event e(int a, int b); handle e(int a, int b) { match (a, b) with | 1, _ -> { drop(); } | _, 2 -> { flood(1); } }"
+    )
+    stmt = program.handlers()[0].body[0]
+    assert isinstance(stmt, ast.SMatch)
+    assert stmt.branches[0][0] == [1, None]
+    assert stmt.branches[1][0] == [None, 2]
+
+
+def test_parse_generate_and_mgenerate():
+    program = parse_program(
+        "event a(); event b(); handle a() { generate b(); mgenerate Event.locate(b(), {1,2}); }"
+    )
+    body = program.handlers()[0].body
+    assert isinstance(body[0], ast.SGenerate) and not body[0].multicast
+    assert isinstance(body[1], ast.SGenerate) and body[1].multicast
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as err:
+        parse_program("event e(int a) handle e(int a) {}")
+    assert "expected" in str(err.value)
+
+
+def test_parse_error_on_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse_program("const int X = 3")
+
+
+def test_parse_error_on_unclosed_block():
+    with pytest.raises(ParseError):
+        parse_program("event e(); handle e() { drop();")
+
+
+def test_parser_spans_cover_declarations():
+    program = parse_program(FULL_PROGRAM, name="prog.lucid")
+    handler = program.handlers()[0]
+    assert handler.span.source.name == "prog.lucid"
+    assert "handle pkt" in handler.span.text

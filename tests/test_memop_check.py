@@ -1,0 +1,135 @@
+"""Tests for the memop syntactic restrictions (Section 4.2, Appendix C)."""
+
+import pytest
+
+from repro.errors import MemopError
+from repro.frontend import parse_program
+from repro.frontend.memop_check import check_all_memops, check_memop
+
+
+def memop_of(source):
+    return parse_program(source).memops()[0]
+
+
+def check(source):
+    check_memop(memop_of(source))
+
+
+# -- valid memops ------------------------------------------------------------
+@pytest.mark.parametrize(
+    "body",
+    [
+        "return stored + x;",
+        "return stored - x;",
+        "return stored & x;",
+        "return stored | x;",
+        "return stored ^ x;",
+        "return x;",
+        "return stored;",
+        "return 7;",
+        "if (stored == 0) { return x; } else { return stored; }",
+        "if (stored < x) { return x; } else { return stored; }",
+        "if (x > 10) { return 0; } else { return stored; }",
+        "if (stored != x) { return x + 1; } else { return 0; }",
+    ],
+)
+def test_valid_memops_accepted(body):
+    check(f"memop m(int stored, int x) {{ {body} }}")
+
+
+def test_paper_incr_memop_is_valid():
+    check("memop incr(int stored, int added) { return stored + added; }")
+
+
+# -- appendix C: the three invalid examples -----------------------------------
+def test_compound_condition_rejected():
+    with pytest.raises(MemopError, match="compound"):
+        check(
+            "memop compoundCondition(int memval, int y) {"
+            "  if (memval == 1 || memval == 2) { return memval; } else { return y; }"
+            "}"
+        )
+
+
+def test_three_parameters_rejected():
+    with pytest.raises(MemopError, match="two parameters"):
+        check(
+            "memop twoLocalArgs(int memval, int y, int z) {"
+            "  if (memval == 1) { return y; } else { return z; }"
+            "}"
+        )
+
+
+def test_multiplication_rejected():
+    with pytest.raises(MemopError, match="not supported"):
+        check("memop multiply(int memval, int x) { return (10 * memval) + x; }")
+
+
+# -- other violations ----------------------------------------------------------
+def test_variable_used_twice_in_expression_rejected():
+    with pytest.raises(MemopError, match="once"):
+        check("memop m(int stored, int x) { return stored + stored; }")
+
+
+def test_two_statements_rejected():
+    with pytest.raises(MemopError, match="single return"):
+        check("memop m(int stored, int x) { int y = x; return y; }")
+
+
+def test_missing_return_value_rejected():
+    with pytest.raises(MemopError):
+        check("memop m(int stored, int x) { return; }")
+
+
+def test_nested_if_rejected():
+    with pytest.raises(MemopError):
+        check(
+            "memop m(int stored, int x) {"
+            "  if (stored == 0) { if (x == 1) { return 1; } else { return 2; } } else { return 0; }"
+            "}"
+        )
+
+
+def test_deep_arithmetic_rejected():
+    with pytest.raises(MemopError):
+        check("memop m(int stored, int x) { return stored + x + 1 + 2; }")
+
+
+def test_call_inside_memop_rejected():
+    with pytest.raises(MemopError, match="calls"):
+        check("memop m(int stored, int x) { return hash<<16>>(stored, x); }")
+
+
+def test_division_rejected():
+    with pytest.raises(MemopError, match="not supported"):
+        check("memop m(int stored, int x) { return stored / x; }")
+
+
+def test_non_int_parameter_rejected():
+    with pytest.raises(MemopError):
+        check("memop m(bool stored, int x) { return x; }")
+
+
+def test_branch_with_two_returns_rejected():
+    with pytest.raises(MemopError, match="exactly one return"):
+        check(
+            "memop m(int stored, int x) {"
+            "  if (stored == 0) { return x; return stored; } else { return 0; }"
+            "}"
+        )
+
+
+def test_error_message_points_at_source_line():
+    with pytest.raises(MemopError) as err:
+        check("memop m(int stored, int x) {\n  return stored * x;\n}")
+    rendered = err.value.render()
+    assert "-->" in rendered and "stored * x" in rendered
+
+
+def test_check_all_memops_walks_every_declaration():
+    source = (
+        "memop ok(int a, int b) { return a + b; }\n"
+        "memop bad(int a, int b) { return a * b; }\n"
+    )
+    with pytest.raises(MemopError):
+        check_all_memops(parse_program(source))

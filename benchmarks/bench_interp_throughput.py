@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Interpreter throughput: events/sec for the tree-walking engine versus the
+compiled-handler fast path, across the bundled Figure 9 applications.
+
+Each application is driven with a deterministic synthetic traffic workload
+(``pkt_*`` events where the program declares them, otherwise every handled
+event round-robin), with tracing disabled so the batched drain mode is used.
+The same event sequence is replayed through both engines.
+
+Run standalone::
+
+    python benchmarks/bench_interp_throughput.py                 # full sweep
+    python benchmarks/bench_interp_throughput.py --smoke         # CI smoke
+    python benchmarks/bench_interp_throughput.py --apps SFW,RR --events 8000
+
+The smoke mode asserts the fast path stays at least 2x faster than the tree
+walker on the stateful-firewall workload, so perf regressions surface in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.apps import ALL_APPLICATIONS
+from repro.frontend import check_program
+from repro.interp import EventInstance, Network
+
+
+def _lcg(seed: int):
+    state = (seed & 0x7FFFFFFF) or 1
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def build_workload(checked, count: int, seed: int = 0xC0FFEE):
+    """Deterministic traffic for one program: prefer packet-arrival events
+    (``pkt_*``), fall back to every handled event, round-robin with mixed
+    small/full-range arguments."""
+    names = sorted(n for n in checked.info.handlers if n.startswith("pkt"))
+    if not names:
+        names = sorted(checked.info.handlers)
+    rng = _lcg(seed)
+    events = []
+    for i in range(count):
+        name = names[i % len(names)]
+        params = checked.info.events[name].params
+        args = tuple(
+            next(rng) % 256 if (i + j) % 2 == 0 else next(rng)
+            for j in range(len(params))
+        )
+        events.append((EventInstance(name, args), i * 100))
+    return events
+
+
+def measure(checked, fast_path: bool, events, repeat: int = 3):
+    """Best-of-``repeat`` events/sec for one engine over one workload."""
+    best = 0.0
+    handled = 0
+    for _ in range(repeat):
+        network = Network(fast_path=fast_path)
+        network.trace_enabled = False
+        network.add_switch(0, checked)
+        for event, at_ns in events:
+            network.inject(0, event, at_ns=at_ns)
+        start = time.perf_counter()
+        handled = network.run(max_events=2 * len(events))
+        elapsed = time.perf_counter() - start
+        best = max(best, handled / elapsed if elapsed > 0 else 0.0)
+    return best, handled
+
+
+def run_sweep(app_keys, n_events: int, repeat: int = 3):
+    rows = []
+    for key in app_keys:
+        app = ALL_APPLICATIONS[key]
+        checked = check_program(app.source, name=key)
+        events = build_workload(checked, n_events)
+        slow_eps, handled = measure(checked, False, events, repeat)
+        fast_eps, _ = measure(checked, True, events, repeat)
+        rows.append(
+            {
+                "app": key,
+                "events": handled,
+                "tree_walk_eps": round(slow_eps),
+                "compiled_eps": round(fast_eps),
+                "speedup": round(fast_eps / slow_eps, 2) if slow_eps else 0.0,
+            }
+        )
+    return rows
+
+
+def print_rows(rows):
+    headers = list(rows[0].keys())
+    widths = {h: max(len(h), max(len(str(r[h])) for r in rows)) for h in headers}
+    print("  ".join(h.ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=4000, help="traffic events per app")
+    parser.add_argument("--repeat", type=int, default=3, help="timing repetitions (best-of)")
+    parser.add_argument(
+        "--apps", type=str, default="", help="comma-separated app keys (default: all)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: SFW only, fewer events, asserts the fast path "
+        "stays at least 2x ahead",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        keys = ["SFW"]
+        n_events = min(args.events, 1500)
+        repeat = 2
+    else:
+        keys = [k for k in args.apps.split(",") if k] or sorted(ALL_APPLICATIONS)
+        n_events = args.events
+        repeat = args.repeat
+    unknown = [k for k in keys if k not in ALL_APPLICATIONS]
+    if unknown:
+        print(f"unknown app keys: {unknown}; known: {sorted(ALL_APPLICATIONS)}")
+        return 2
+
+    rows = run_sweep(keys, n_events, repeat)
+    print("=== interpreter throughput: tree-walking vs compiled fast path ===")
+    print_rows(rows)
+
+    if args.smoke:
+        sfw = next(r for r in rows if r["app"] == "SFW")
+        if sfw["speedup"] < 2.0:
+            print(
+                f"PERF REGRESSION: compiled fast path is only {sfw['speedup']}x "
+                "the tree walker on SFW (expected >= 2x, typically >= 3x)"
+            )
+            return 1
+        print(f"smoke ok: SFW speedup {sfw['speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

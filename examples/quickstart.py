@@ -54,8 +54,17 @@ def main() -> None:
     for line in compiled.p4.full_text().splitlines()[:12]:
         print(" ", line)
 
-    # 2. interpret: run the program on a simulated switch
-    network, switch = single_switch_network(compiled.checked)
+    # 2. interpret: run the program on a simulated switch.
+    #
+    # The interpreter has two engines: the default compiled fast path
+    # (fast_path=True) lowers each handler into Python closures once and is
+    # typically 3-4x faster on event-heavy workloads; fast_path=False selects
+    # the tree-walking reference interpreter.  Both are behaviourally
+    # identical (see tests/test_compiled_interp.py), so prototype with either.
+    # For bulk simulations, also set network.trace_enabled = False to skip
+    # per-event trace allocation; benchmarks/bench_interp_throughput.py
+    # measures the throughput of both engines across the bundled apps.
+    network, switch = single_switch_network(compiled.checked, fast_path=True)
     for i in range(20):
         network.inject(0, EventInstance("pkt", (i % 4,)), at_ns=i * 1000)
     network.inject(0, EventInstance("reset", (0,)), at_ns=50_000)

@@ -48,7 +48,9 @@ from repro.errors import (
 )
 from repro.frontend import CheckedProgram, check_program, parse_program
 from repro.interp import (
+    CompiledSwitchRuntime,
     EventInstance,
+    HandlerCompiler,
     HandlerInterpreter,
     Network,
     RuntimeArray,
@@ -81,6 +83,8 @@ __all__ = [
     "Switch",
     "SwitchRuntime",
     "HandlerInterpreter",
+    "CompiledSwitchRuntime",
+    "HandlerCompiler",
     "EventInstance",
     "RuntimeArray",
     "SchedulerConfig",

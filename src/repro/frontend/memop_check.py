@@ -76,6 +76,12 @@ def _check_params(memop: ast.DMemop) -> None:
                 "operate on integer register cells)",
                 param.span,
             )
+    if memop.params[0].name == memop.params[1].name:
+        raise MemopError(
+            f"memop '{memop.name}' declares both parameters with the same name "
+            f"'{memop.params[0].name}'; the stored value would be inaccessible",
+            memop.params[1].span,
+        )
 
 
 # ---------------------------------------------------------------------------

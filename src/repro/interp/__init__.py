@@ -2,6 +2,7 @@
 simulated switch or network of switches."""
 
 from repro.interp.arrays import RuntimeArray
+from repro.interp.compiled import CompiledSwitchRuntime, HandlerCompiler
 from repro.interp.events import LOCAL, EventInstance
 from repro.interp.interpreter import (
     ExecutionResult,
@@ -23,6 +24,8 @@ __all__ = [
     "EventInstance",
     "LOCAL",
     "HandlerInterpreter",
+    "CompiledSwitchRuntime",
+    "HandlerCompiler",
     "SwitchRuntime",
     "ExecutionResult",
     "lucid_hash",

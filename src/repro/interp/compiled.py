@@ -1,0 +1,914 @@
+"""Compiled-handler fast path for the Lucid interpreter.
+
+The tree-walking :class:`~repro.interp.interpreter.HandlerInterpreter`
+re-dispatches on AST node types for every statement and expression of every
+event, so large :class:`~repro.interp.network.Network` simulations spend most
+of their time in ``isinstance`` chains and dictionary lookups.  This module
+lowers each checked handler body *once* into nested Python closures — one
+closure per statement/expression — with
+
+* **resolved variable slots**: locals and parameters live in a flat list
+  frame indexed by compile-time slot numbers instead of a dict environment;
+* **pre-bound memop callables**: ``Array.get(a, i, memop, x)`` captures the
+  compiled memop function directly (via ``SwitchRuntime.memop_fn``);
+* **pre-resolved array handles**: an ``Array.*`` call whose first argument
+  names a global captures the :class:`~repro.interp.arrays.RuntimeArray`
+  object itself; and
+* **pre-folded constants**: ``const`` values, group literals, ``SELF``, and
+  ``Sys.self`` become captured Python ints/tuples.
+
+:class:`CompiledSwitchRuntime` is drop-in compatible with
+``HandlerInterpreter`` (same ``run`` / ``call_function`` surface over the same
+:class:`~repro.interp.interpreter.SwitchRuntime`), and any handler the
+compiler cannot lower falls back to the tree walker, so behaviour is
+identical by construction — the differential suite in
+``tests/test_compiled_interp.py`` pins this across every bundled application.
+
+Execution model: a statement closure takes ``(frame, result)`` and returns
+``None`` to continue or a 1-tuple ``(value,)`` to signal ``return value``
+(the tuple propagates through enclosing blocks, replacing the tree walker's
+``_ReturnValue`` exception on the hot path).  An expression closure takes
+``(frame, result)`` and returns the value.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import InterpError
+from repro.frontend import ast
+from repro.frontend.symbols import ARRAY_METHODS, EVENT_COMBINATORS, ProgramInfo
+from repro.interp.events import EventInstance
+from repro.interp.interpreter import (
+    ExecutionResult,
+    HandlerInterpreter,
+    SwitchRuntime,
+)
+
+_MASK = 0xFFFFFFFF
+
+#: frame sentinel for a declared-but-not-yet-initialised slot
+_UNDEF = object()
+
+#: dictionary sentinel distinguishing "no handler" from "tree-walk fallback"
+_NO_HANDLER = object()
+
+#: the return-signal for a bare ``return;``
+_RETURN_NONE = (None,)
+
+StmtFn = Callable[[List[object], ExecutionResult], Optional[tuple]]
+ExprFn = Callable[[List[object], ExecutionResult], object]
+
+
+# ---------------------------------------------------------------------------
+# binary operators, one closure constructor per op (semantics identical to
+# interpreter._apply_binop, with the tree walker's short-circuit for && / ||)
+# ---------------------------------------------------------------------------
+def _div(a: int, b: int) -> int:
+    return a // b if b else 0
+
+
+def _mod(a: int, b: int) -> int:
+    return a % b if b else 0
+
+
+def _make_binop_table():
+    B = ast.BinOp
+    return {
+        B.ADD: lambda l, r: lambda f, res: (l(f, res) + r(f, res)) & _MASK,
+        B.SUB: lambda l, r: lambda f, res: (l(f, res) - r(f, res)) & _MASK,
+        B.MUL: lambda l, r: lambda f, res: (l(f, res) * r(f, res)) & _MASK,
+        B.DIV: lambda l, r: lambda f, res: _div(l(f, res), r(f, res)),
+        B.MOD: lambda l, r: lambda f, res: _mod(l(f, res), r(f, res)),
+        B.BITAND: lambda l, r: lambda f, res: l(f, res) & r(f, res),
+        B.BITOR: lambda l, r: lambda f, res: l(f, res) | r(f, res),
+        B.BITXOR: lambda l, r: lambda f, res: l(f, res) ^ r(f, res),
+        B.SHL: lambda l, r: lambda f, res: (l(f, res) << (r(f, res) & 31)) & _MASK,
+        B.SHR: lambda l, r: lambda f, res: l(f, res) >> (r(f, res) & 31),
+        B.EQ: lambda l, r: lambda f, res: 1 if l(f, res) == r(f, res) else 0,
+        B.NEQ: lambda l, r: lambda f, res: 1 if l(f, res) != r(f, res) else 0,
+        B.LT: lambda l, r: lambda f, res: 1 if l(f, res) < r(f, res) else 0,
+        B.GT: lambda l, r: lambda f, res: 1 if l(f, res) > r(f, res) else 0,
+        B.LE: lambda l, r: lambda f, res: 1 if l(f, res) <= r(f, res) else 0,
+        B.GE: lambda l, r: lambda f, res: 1 if l(f, res) >= r(f, res) else 0,
+    }
+
+
+_BINOPS = _make_binop_table()
+
+
+class _Scope:
+    """Compile-time mapping from variable names to frame slots.
+
+    Lucid handlers have a single flat scope (``if``/``match`` branches share
+    it), so one slot table per handler/function body is exact: a name maps to
+    the same slot wherever it appears.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self, params: Sequence[ast.Param]):
+        self.slots: Dict[str, int] = {p.name: i for i, p in enumerate(params)}
+
+    def get(self, name: str) -> Optional[int]:
+        return self.slots.get(name)
+
+    def slot(self, name: str) -> int:
+        s = self.slots.get(name)
+        if s is None:
+            s = self.slots[name] = len(self.slots)
+        return s
+
+    def size(self) -> int:
+        return len(self.slots)
+
+
+class _PrefixScope:
+    """Scope view used when inlining a ``fun`` body into its caller.
+
+    Every name is mangled with a prefix that cannot occur in Lucid source
+    (it contains ``"\\x00"``), so the callee's parameters and locals land in
+    private slots of the *caller's* frame: the callee cannot see caller
+    locals (matching the tree walker's fresh-environment semantics) and
+    nested inlining composes by prefix chaining.
+    """
+
+    __slots__ = ("parent", "prefix", "seen")
+
+    def __init__(self, parent, prefix: str):
+        self.parent = parent
+        self.prefix = prefix
+        #: every slot this callee touched — the caller resets these before
+        #: each invocation so a second call site (whose mangled slots already
+        #: exist) cannot observe stale locals from an earlier call
+        self.seen: set = set()
+
+    def get(self, name: str) -> Optional[int]:
+        s = self.parent.get(self.prefix + name)
+        if s is not None:
+            self.seen.add(s)
+        return s
+
+    def slot(self, name: str) -> int:
+        s = self.parent.slot(self.prefix + name)
+        self.seen.add(s)
+        return s
+
+    def size(self) -> int:
+        return self.parent.size()
+
+
+class _FunctionEntry:
+    """A compiled ``fun``: its body closure plus frame layout."""
+
+    __slots__ = ("nparams", "frame_size", "body")
+
+    def __init__(self, nparams: int):
+        self.nparams = nparams
+        self.frame_size = nparams
+        self.body: Optional[StmtFn] = None
+
+
+class CompiledHandler:
+    """One lowered handler body."""
+
+    __slots__ = ("name", "nparams", "frame_size", "body")
+
+    def __init__(self, name: str, nparams: int, frame_size: int, body: Optional[StmtFn]):
+        self.name = name
+        self.nparams = nparams
+        self.frame_size = frame_size
+        self.body = body
+
+
+class HandlerCompiler:
+    """Lowers checked handler/function bodies into nested Python closures.
+
+    A compiler instance is bound to one :class:`SwitchRuntime`: array handles
+    and memop callables are resolved against that runtime at compile time.
+    Mutable runtime state (the clock, the RNG, late-bound externs) is read
+    through the captured runtime object at call time, so ``bind_extern`` and
+    the scheduler's clock updates behave exactly as with the tree walker.
+    """
+
+    def __init__(self, runtime: SwitchRuntime):
+        self.runtime = runtime
+        self.info: ProgramInfo = runtime.info
+        self._functions: Dict[str, _FunctionEntry] = {}
+        #: functions currently being inlined (recursion falls back to frames)
+        self._inlining: set = set()
+
+    # -- entry points -------------------------------------------------------
+    def compile_handler(self, handler: ast.DHandler) -> CompiledHandler:
+        scope = _Scope(handler.params)
+        body = self._compile_block(handler.body, scope)
+        return CompiledHandler(
+            name=handler.name,
+            nparams=len(handler.params),
+            frame_size=len(scope.slots),
+            body=body,
+        )
+
+    def function_entry(self, name: str) -> _FunctionEntry:
+        """Compile (and cache) one ``fun``.  The entry is registered before
+        its body is lowered so self-referencing programs terminate compilation
+        (and recurse at run time exactly like the tree walker would)."""
+        entry = self._functions.get(name)
+        if entry is not None:
+            return entry
+        fun = self.info.functions[name]
+        entry = _FunctionEntry(nparams=len(fun.params))
+        self._functions[name] = entry
+        try:
+            scope = _Scope(fun.params)
+            entry.body = self._compile_block(fun.body, scope)
+            entry.frame_size = len(scope.slots)
+        except BaseException:
+            del self._functions[name]
+            raise
+        return entry
+
+    # -- statements ---------------------------------------------------------
+    def _compile_block(self, stmts: Sequence[ast.Stmt], scope: _Scope) -> Optional[StmtFn]:
+        fns = []
+        for stmt in stmts:
+            fn = self._compile_stmt(stmt, scope)
+            if fn is not None:
+                fns.append(fn)
+        if not fns:
+            return None
+        if len(fns) == 1:
+            return fns[0]
+        fns = tuple(fns)
+
+        def run_block(frame, res):
+            for fn in fns:
+                r = fn(frame, res)
+                if r is not None:
+                    return r
+            return None
+
+        return run_block
+
+    def _compile_stmt(self, stmt: ast.Stmt, scope: _Scope) -> Optional[StmtFn]:
+        if isinstance(stmt, ast.SNoop):
+            return None
+        if isinstance(stmt, ast.SLocal):
+            init = self._compile_expr(stmt.init, scope)
+            slot = scope.slot(stmt.name)
+
+            def do_local(frame, res):
+                frame[slot] = init(frame, res)
+                return None
+
+            return do_local
+        if isinstance(stmt, ast.SAssign):
+            name = stmt.name
+            slot = scope.slot(name)
+            value = self._compile_expr(stmt.value, scope)
+
+            def do_assign(frame, res):
+                if frame[slot] is _UNDEF:
+                    raise InterpError(f"assignment to undeclared variable '{name}'")
+                frame[slot] = value(frame, res)
+                return None
+
+            return do_assign
+        if isinstance(stmt, ast.SIf):
+            cond = self._compile_expr(stmt.cond, scope)
+            then_fn = self._compile_block(stmt.then_body, scope)
+            else_fn = self._compile_block(stmt.else_body, scope)
+            if then_fn is not None and else_fn is not None:
+
+                def do_if(frame, res):
+                    if cond(frame, res):
+                        return then_fn(frame, res)
+                    return else_fn(frame, res)
+
+            elif then_fn is not None:
+
+                def do_if(frame, res):
+                    if cond(frame, res):
+                        return then_fn(frame, res)
+                    return None
+
+            elif else_fn is not None:
+
+                def do_if(frame, res):
+                    if not cond(frame, res):
+                        return else_fn(frame, res)
+                    return None
+
+            else:
+
+                def do_if(frame, res):
+                    cond(frame, res)  # the condition may have side effects
+                    return None
+
+            return do_if
+        if isinstance(stmt, ast.SMatch):
+            scruts = tuple(self._compile_expr(e, scope) for e in stmt.scrutinees)
+            branches = tuple(
+                (tuple(pattern), self._compile_block(body, scope))
+                for pattern, body in stmt.branches
+            )
+
+            def do_match(frame, res):
+                values = [fn(frame, res) for fn in scruts]
+                for pattern, body in branches:
+                    matched = True
+                    for p, v in zip(pattern, values):
+                        if p is not None and p != v:
+                            matched = False
+                            break
+                    if matched:
+                        if body is not None:
+                            return body(frame, res)
+                        return None
+                return None
+
+            return do_match
+        if isinstance(stmt, ast.SReturn):
+            if stmt.value is None:
+
+                def do_return(frame, res):
+                    return _RETURN_NONE
+
+                return do_return
+            value = self._compile_expr(stmt.value, scope)
+
+            def do_return(frame, res):
+                return (value(frame, res),)
+
+            return do_return
+        if isinstance(stmt, ast.SGenerate):
+            ev_fn = self._compile_expr(stmt.event, scope)
+
+            def do_generate(frame, res):
+                value = ev_fn(frame, res)
+                if not isinstance(value, EventInstance):
+                    raise InterpError("generate expects an event value")
+                res.generated.append(value)
+                return None
+
+            return do_generate
+        if isinstance(stmt, ast.SExpr):
+            fn = self._compile_expr(stmt.expr, scope)
+
+            def do_expr(frame, res):
+                fn(frame, res)
+                return None
+
+            return do_expr
+        if isinstance(stmt, ast.SSeq):
+            return self._compile_block(stmt.body, scope)
+        raise InterpError(f"unhandled statement {type(stmt).__name__}")
+
+    # -- expressions --------------------------------------------------------
+    def _compile_expr(self, expr: ast.Expr, scope: _Scope) -> ExprFn:
+        if isinstance(expr, ast.EInt):
+            value = expr.value
+            return lambda frame, res: value
+        if isinstance(expr, ast.EBool):
+            value = 1 if expr.value else 0
+            return lambda frame, res: value
+        if isinstance(expr, ast.EVar):
+            return self._compile_var(expr.name, scope)
+        if isinstance(expr, ast.EUnary):
+            operand = self._compile_expr(expr.operand, scope)
+            if expr.op is ast.UnOp.NEG:
+                return lambda frame, res: (-operand(frame, res)) & _MASK
+            if expr.op is ast.UnOp.BITNOT:
+                return lambda frame, res: ~operand(frame, res) & _MASK
+            return lambda frame, res: 0 if operand(frame, res) else 1
+        if isinstance(expr, ast.EBinary):
+            left = self._compile_expr(expr.left, scope)
+            right = self._compile_expr(expr.right, scope)
+            if expr.op is ast.BinOp.AND:
+                return lambda frame, res: (
+                    0 if not left(frame, res) else (1 if right(frame, res) else 0)
+                )
+            if expr.op is ast.BinOp.OR:
+                return lambda frame, res: (
+                    1 if left(frame, res) else (1 if right(frame, res) else 0)
+                )
+            make = _BINOPS.get(expr.op)
+            if make is None:
+                raise InterpError(f"unsupported operator {expr.op}")
+            return make(left, right)
+        if isinstance(expr, ast.EGroup):
+            members = tuple(self._compile_expr(m, scope) for m in expr.members)
+            return lambda frame, res: tuple(fn(frame, res) for fn in members)
+        if isinstance(expr, ast.EEvent):
+            return self._compile_event_ctor(expr.name, expr.args, scope)
+        if isinstance(expr, ast.ECall):
+            return self._compile_call(expr, scope)
+        raise InterpError(f"unhandled expression {type(expr).__name__}")
+
+    def _compile_var(self, name: str, scope: _Scope) -> ExprFn:
+        info = self.info
+        # the fallback mirrors the tree walker's lookup chain for a name that
+        # is not (yet) bound in the handler scope: SELF, then group constants,
+        # then scalar constants, then global array handles
+        have_fallback = True
+        if name == "SELF":
+            fallback = self.runtime.switch_id
+        elif name in info.consts.groups:
+            fallback = tuple(info.consts.groups[name])
+        elif info.consts.lookup(name) is not None:
+            fallback = info.consts.lookup(name)
+        elif info.is_global(name):
+            fallback = name  # arrays evaluate to their own name (a handle)
+        else:
+            have_fallback = False
+            fallback = None
+        slot = scope.get(name)
+        if slot is None:
+            # never declared up to this point of the body: the local frame can
+            # not hold it when this expression runs, so resolve statically
+            if have_fallback:
+                return lambda frame, res: fallback
+            def raise_undefined(frame, res):
+                raise InterpError(f"undefined variable '{name}'")
+            return raise_undefined
+        if have_fallback:
+
+            def read_with_fallback(frame, res):
+                v = frame[slot]
+                return fallback if v is _UNDEF else v
+
+            return read_with_fallback
+
+        def read(frame, res):
+            v = frame[slot]
+            if v is _UNDEF:
+                raise InterpError(f"undefined variable '{name}'")
+            return v
+
+        return read
+
+    def _compile_event_ctor(
+        self, name: str, args: Sequence[ast.Expr], scope: _Scope
+    ) -> ExprFn:
+        arg_fns = tuple(self._compile_expr(a, scope) for a in args)
+        source = self.runtime.switch_id
+
+        def make_event(frame, res):
+            return EventInstance(
+                name=name,
+                args=tuple(fn(frame, res) for fn in arg_fns),
+                source=source,
+            )
+
+        return make_event
+
+    # -- calls --------------------------------------------------------------
+    def _compile_call(self, expr: ast.ECall, scope: _Scope) -> ExprFn:
+        func = expr.func
+        info = self.info
+        runtime = self.runtime
+        if func in ARRAY_METHODS:
+            return self._compile_array_method(expr, scope)
+        if func in EVENT_COMBINATORS:
+            return self._compile_combinator(expr, scope)
+        if func == "hash":
+            width = expr.size_args[0] if expr.size_args else 32
+            arg_fns = tuple(self._compile_expr(a, scope) for a in expr.args)
+            # pre-build the packer for this call site's arity; semantics are
+            # exactly lucid_hash(width, args, seed=0)
+            pack = struct.Struct("<%dI" % (len(arg_fns) + 1)).pack
+            crc32 = zlib.crc32
+            if width >= 32:
+
+                def do_hash(frame, res):
+                    return crc32(
+                        pack(0, *[fn(frame, res) & _MASK for fn in arg_fns])
+                    )
+
+            else:
+                wmask = (1 << width) - 1
+
+                def do_hash(frame, res):
+                    return (
+                        crc32(pack(0, *[fn(frame, res) & _MASK for fn in arg_fns]))
+                        & wmask
+                    )
+
+            return do_hash
+        if func == "Sys.time":
+            return lambda frame, res: runtime.time_ns & _MASK
+        if func == "Sys.self":
+            sid = runtime.switch_id
+            return lambda frame, res: sid
+        if func == "Sys.random":
+            if expr.args:
+                bound_fn = self._compile_expr(expr.args[0], scope)
+                return lambda frame, res: runtime.random(bound_fn(frame, res))
+            return lambda frame, res: runtime.random()
+        if func == "drop":
+
+            def do_drop(frame, res):
+                res.dropped = True
+                return 0
+
+            return do_drop
+        if func == "forward":
+            port_fn = self._compile_expr(expr.args[0], scope)
+
+            def do_forward(frame, res):
+                res.forwarded_port = port_fn(frame, res)
+                return 0
+
+            return do_forward
+        if func == "flood":
+
+            def do_flood(frame, res):
+                res.flooded = True
+                return 0
+
+            return do_flood
+        if func == "printf":
+            arg_fns = tuple(self._compile_expr(a, scope) for a in expr.args)
+
+            def do_printf(frame, res):
+                res.prints.append(" ".join(str(fn(frame, res)) for fn in arg_fns))
+                return 0
+
+            return do_printf
+        if info.is_function(func):
+            return self._compile_user_call(func, expr.args, scope)
+        if func in info.externs:
+            arg_fns = tuple(self._compile_expr(a, scope) for a in expr.args)
+            externs = runtime.externs
+
+            def do_extern(frame, res):
+                args = [fn(frame, res) for fn in arg_fns]
+                fn = externs.get(func)
+                if fn is None:
+                    return 0
+                return int(fn(*args))
+
+            return do_extern
+        if info.is_event(func):
+            return self._compile_event_ctor(func, expr.args, scope)
+        raise InterpError(f"call to unknown function '{func}'")
+
+    def _compile_user_call(
+        self, func: str, args: Sequence[ast.Expr], scope
+    ) -> ExprFn:
+        """A ``fun`` call.  Non-recursive functions are inlined into the
+        caller's frame (their parameters and locals become mangled caller
+        slots), eliminating the per-call frame allocation; recursive calls
+        fall back to a framed call through :meth:`function_entry`.
+
+        Argument handling matches the tree walker exactly: arguments are
+        zip-truncated against the parameter list, and missing parameters
+        resolve through the constant fallback chain.
+        """
+        fun = self.info.functions[func]
+        nparams = len(fun.params)
+        if func in self._inlining:
+            return self._compile_framed_call(func, args, scope)
+        self._inlining.add(func)
+        try:
+            inner = _PrefixScope(scope, func + "\x00")
+            param_slots = [inner.slot(p.name) for p in fun.params]
+            body_stmts = [s for s in fun.body if not isinstance(s, ast.SNoop)]
+            arg_fns = tuple(self._compile_expr(a, scope) for a in args[:nparams])
+            written_slots = tuple(param_slots[: len(arg_fns)])
+            # fast case: a single `return <expr>;` body becomes the expression
+            # itself — no return-signal tuple at all
+            if len(body_stmts) == 1 and isinstance(body_stmts[0], ast.SReturn):
+                ret = body_stmts[0]
+                value_fn = (
+                    self._compile_expr(ret.value, inner) if ret.value is not None else None
+                )
+                reset_slots = tuple(sorted(inner.seen - set(written_slots)))
+                if not reset_slots and len(arg_fns) == 2 and value_fn is not None:
+                    fn0, fn1 = arg_fns
+                    s0, s1 = written_slots
+
+                    def do_inline(frame, res):
+                        v0 = fn0(frame, res)
+                        v1 = fn1(frame, res)
+                        frame[s0] = v0
+                        frame[s1] = v1
+                        return value_fn(frame, res)
+
+                    return do_inline
+
+                def do_inline(frame, res):
+                    values = [fn(frame, res) for fn in arg_fns]
+                    for s in reset_slots:
+                        frame[s] = _UNDEF
+                    i = 0
+                    for s in written_slots:
+                        frame[s] = values[i]
+                        i += 1
+                    if value_fn is None:
+                        return 0
+                    return value_fn(frame, res)
+
+                return do_inline
+            body = self._compile_block(fun.body, inner)
+            reset_slots = tuple(sorted(inner.seen - set(written_slots)))
+
+            def do_inline(frame, res):
+                values = [fn(frame, res) for fn in arg_fns]
+                for s in reset_slots:
+                    frame[s] = _UNDEF
+                i = 0
+                for s in written_slots:
+                    frame[s] = values[i]
+                    i += 1
+                if body is None:
+                    return 0
+                r = body(frame, res)
+                if r is None:
+                    return 0
+                v = r[0]
+                return 0 if v is None else v
+
+            return do_inline
+        finally:
+            self._inlining.discard(func)
+
+    def _compile_framed_call(
+        self, func: str, args: Sequence[ast.Expr], scope
+    ) -> ExprFn:
+        """A ``fun`` call through a fresh frame (used for recursive calls)."""
+        entry = self.function_entry(func)
+        arg_fns = tuple(self._compile_expr(a, scope) for a in args[: entry.nparams])
+
+        def do_call(frame, res):
+            callee = [_UNDEF] * entry.frame_size
+            i = 0
+            for fn in arg_fns:
+                callee[i] = fn(frame, res)
+                i += 1
+            body = entry.body
+            if body is None:
+                return 0
+            r = body(callee, res)
+            if r is None:
+                return 0
+            v = r[0]
+            return 0 if v is None else v
+
+        return do_call
+
+    def _compile_combinator(self, expr: ast.ECall, scope: _Scope) -> ExprFn:
+        func = expr.func
+        ev_fn = self._compile_expr(expr.args[0], scope)
+        arg_fn = self._compile_expr(expr.args[1], scope)
+        if func == "Event.delay":
+
+            def do_delay(frame, res):
+                event = ev_fn(frame, res)
+                if not isinstance(event, EventInstance):
+                    raise InterpError(f"{func} expects an event value")
+                return event.delay(arg_fn(frame, res))
+
+            return do_delay
+
+        def do_locate(frame, res):
+            event = ev_fn(frame, res)
+            if not isinstance(event, EventInstance):
+                raise InterpError(f"{func} expects an event value")
+            return event.locate(arg_fn(frame, res))
+
+        return do_locate
+
+    # -- array methods ------------------------------------------------------
+    def _compile_array_method(self, expr: ast.ECall, scope: _Scope) -> ExprFn:
+        info = self.info
+        runtime = self.runtime
+        arr_expr = expr.args[0]
+        array = None  # statically resolved RuntimeArray, when possible
+        get_array = None  # dynamic resolver, otherwise
+        if isinstance(arr_expr, ast.EVar) and info.is_global(arr_expr.name):
+            array = runtime.array(arr_expr.name)
+        elif isinstance(arr_expr, ast.EVar):
+            slot = scope.get(arr_expr.name)
+            arrays = runtime.arrays
+            if slot is None:
+
+                def get_array(frame):
+                    raise InterpError(
+                        "the first argument of an Array method must be a global array"
+                    )
+
+            else:
+
+                def get_array(frame):
+                    value = frame[slot]
+                    if isinstance(value, str):
+                        arr = arrays.get(value)
+                        if arr is not None:
+                            return arr
+                    raise InterpError(
+                        "the first argument of an Array method must be a global array"
+                    )
+
+        else:
+
+            def get_array(frame):
+                raise InterpError(
+                    "the first argument of an Array method must be a global array"
+                )
+
+        index_fn = self._compile_expr(expr.args[1], scope)
+        memops: List[Callable[[int, int], int]] = []
+        value_fns: List[ExprFn] = []
+        for arg in expr.args[2:]:
+            if isinstance(arg, ast.EVar) and info.is_memop(arg.name):
+                memops.append(runtime.memop_fn(arg.name))
+            else:
+                value_fns.append(self._compile_expr(arg, scope))
+        method = expr.func
+
+        if method in ("Array.get", "Array.getm"):
+            memop = memops[0] if memops else None
+            arg_fn = value_fns[0] if value_fns else None
+            if array is not None:
+                if memop is None and arg_fn is None:
+
+                    def do_get(frame, res):
+                        return array.get(index_fn(frame, res), None, 0)
+
+                else:
+
+                    def do_get(frame, res):
+                        idx = index_fn(frame, res)
+                        arg = 0 if arg_fn is None else arg_fn(frame, res)
+                        return array.get(idx, memop, arg)
+
+            else:
+
+                def do_get(frame, res):
+                    arr = get_array(frame)
+                    idx = index_fn(frame, res)
+                    arg = 0 if arg_fn is None else arg_fn(frame, res)
+                    return arr.get(idx, memop, arg)
+
+            return do_get
+
+        if method in ("Array.set", "Array.setm"):
+            if memops:
+                memop = memops[0]
+                arg_fn = value_fns[0] if value_fns else None
+                if array is not None:
+
+                    def do_set(frame, res):
+                        idx = index_fn(frame, res)
+                        arg = 0 if arg_fn is None else arg_fn(frame, res)
+                        array.set(idx, memop=memop, arg=arg)
+                        return 0
+
+                else:
+
+                    def do_set(frame, res):
+                        arr = get_array(frame)
+                        idx = index_fn(frame, res)
+                        arg = 0 if arg_fn is None else arg_fn(frame, res)
+                        arr.set(idx, memop=memop, arg=arg)
+                        return 0
+
+            else:
+                value_fn = value_fns[0] if value_fns else None
+                if array is not None:
+
+                    def do_set(frame, res):
+                        idx = index_fn(frame, res)
+                        value = 0 if value_fn is None else value_fn(frame, res)
+                        array.set(idx, value=value)
+                        return 0
+
+                else:
+
+                    def do_set(frame, res):
+                        arr = get_array(frame)
+                        idx = index_fn(frame, res)
+                        value = 0 if value_fn is None else value_fn(frame, res)
+                        arr.set(idx, value=value)
+                        return 0
+
+            return do_set
+
+        if method == "Array.update":
+            get_memop = memops[0] if memops else None
+            set_memop = memops[1] if len(memops) > 1 else None
+            if array is not None and len(value_fns) == 2:
+                ga_fn, sa_fn = value_fns
+
+                def do_update(frame, res):
+                    idx = index_fn(frame, res)
+                    return array.update(
+                        idx, get_memop, ga_fn(frame, res), set_memop, sa_fn(frame, res)
+                    )
+
+            elif array is not None and len(value_fns) == 1:
+                ga_fn = value_fns[0]
+
+                def do_update(frame, res):
+                    idx = index_fn(frame, res)
+                    arg = ga_fn(frame, res)
+                    return array.update(idx, get_memop, arg, set_memop, arg)
+
+            elif array is not None:
+
+                def do_update(frame, res):
+                    return array.update(index_fn(frame, res), get_memop, 0, set_memop, 0)
+
+            else:
+                fns = tuple(value_fns)
+
+                def do_update(frame, res):
+                    arr = get_array(frame)
+                    idx = index_fn(frame, res)
+                    vals = [fn(frame, res) for fn in fns]
+                    get_arg = vals[0] if vals else 0
+                    set_arg = vals[1] if len(vals) > 1 else (vals[0] if vals else 0)
+                    return arr.update(idx, get_memop, get_arg, set_memop, set_arg)
+
+            return do_update
+
+        raise InterpError(f"unhandled array method {method}")
+
+
+class CompiledSwitchRuntime:
+    """Executes handlers through compiled closures; drop-in compatible with
+    :class:`~repro.interp.interpreter.HandlerInterpreter`.
+
+    Handlers are lowered eagerly at construction.  Any handler the compiler
+    cannot lower (e.g. hand-built ASTs with nodes the fast path does not
+    model) silently falls back to the tree-walking interpreter, preserving
+    exact behaviour — including where and how runtime errors are raised.
+    """
+
+    def __init__(self, runtime: SwitchRuntime):
+        self.runtime = runtime
+        self.info: ProgramInfo = runtime.info
+        self._compiler = HandlerCompiler(runtime)
+        self._tree_walker = HandlerInterpreter(runtime)
+        self._handlers: Dict[str, Optional[CompiledHandler]] = {}
+        for name, handler in self.info.handlers.items():
+            try:
+                self._handlers[name] = self._compiler.compile_handler(handler)
+            except Exception:
+                self._handlers[name] = None  # tree-walking fallback
+
+    @property
+    def fallback_handler_names(self) -> List[str]:
+        """Handlers the compiler could not lower (they run through the tree
+        walker instead).  Empty for every bundled application; the
+        differential suite asserts this so a compiler regression cannot turn
+        the conformance tests into a vacuous tree-walker-vs-tree-walker
+        comparison."""
+        return sorted(name for name, h in self._handlers.items() if h is None)
+
+    # -- public entry --------------------------------------------------------
+    def run(self, event: EventInstance) -> ExecutionResult:
+        """Run the handler for ``event`` once, atomically."""
+        handler = self._handlers.get(event.name, _NO_HANDLER)
+        if handler is _NO_HANDLER:
+            # events without handlers are legal: they exit the switch
+            return ExecutionResult()
+        if handler is None:
+            return self._tree_walker.run(event)
+        args = event.args
+        if len(args) != handler.nparams:
+            raise InterpError(
+                f"event '{event.name}' carries {len(args)} arguments but the handler "
+                f"expects {handler.nparams}"
+            )
+        result = ExecutionResult()
+        frame = [_UNDEF] * handler.frame_size
+        i = 0
+        for arg in args:
+            frame[i] = int(arg)
+            i += 1
+        body = handler.body
+        if body is not None:
+            body(frame, result)
+        return result
+
+    def call_function(self, name: str, args: Sequence[int]) -> int:
+        """Call a ``fun`` directly (useful for tests)."""
+        fun = self.info.functions[name]
+        try:
+            entry = self._compiler.function_entry(name)
+        except Exception:
+            return self._tree_walker.call_function(name, args)
+        result = ExecutionResult()
+        frame = [_UNDEF] * entry.frame_size
+        for i, (_, arg) in enumerate(zip(fun.params, args)):
+            frame[i] = arg
+        if entry.body is None:
+            return 0
+        r = entry.body(frame, result)
+        if r is None:
+            return 0
+        return r[0] if r[0] is not None else 0

@@ -29,8 +29,10 @@ class EventInstance:
     group: Optional[Tuple[int, ...]] = None
     #: switch that generated the event (filled by the scheduler)
     source: Optional[int] = None
-    #: monotonically increasing id used for deterministic tie-breaking
-    serial: int = field(default_factory=lambda: next(_serial))
+    #: monotonically increasing id used for deterministic tie-breaking; not
+    #: part of the event's value (two events are equal iff name, data, time,
+    #: place, and source agree — regardless of when they were allocated)
+    serial: int = field(default_factory=lambda: next(_serial), compare=False)
 
     # -- combinators --------------------------------------------------------
     def delay(self, extra_ns: int) -> "EventInstance":

@@ -10,6 +10,7 @@ events the handler generated.
 
 from __future__ import annotations
 
+import struct
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -30,11 +31,13 @@ def lucid_hash(width: int, args: Sequence[int], seed: int = 0) -> int:
     """The deterministic hash used for ``hash<<w>>(...)`` — a CRC32 over the
     argument words, truncated to ``w`` bits (the Tofino's hash units compute
     CRC-family hashes)."""
-    data = bytearray()
-    data.extend(seed.to_bytes(4, "little", signed=False))
-    for arg in args:
-        data.extend(_mask32(int(arg)).to_bytes(4, "little"))
-    value = zlib.crc32(bytes(data))
+    value = zlib.crc32(
+        struct.pack(
+            "<%dI" % (len(args) + 1),
+            seed & 0xFFFFFFFF,
+            *[int(arg) & 0xFFFFFFFF for arg in args],
+        )
+    )
     if width >= 32:
         return value
     return value & ((1 << width) - 1)
@@ -61,10 +64,14 @@ class ExecutionResult:
 class SwitchRuntime:
     """Per-switch runtime state: arrays, memops, externs, and the clock."""
 
-    def __init__(self, checked: CheckedProgram, switch_id: int = 0):
+    def __init__(self, checked: CheckedProgram, switch_id: int = 0, fast_path: bool = True):
         self.checked = checked
         self.info: ProgramInfo = checked.info
         self.switch_id = switch_id
+        #: whether handlers should run through the compiled-closure engine
+        #: (:class:`repro.interp.compiled.CompiledSwitchRuntime`) instead of the
+        #: tree-walking :class:`HandlerInterpreter`
+        self.fast_path = fast_path
         self.time_ns = 0
         self.arrays: Dict[str, RuntimeArray] = {
             g.name: RuntimeArray(name=g.name, size=g.size, cell_width=g.cell_width)
@@ -88,27 +95,69 @@ class SwitchRuntime:
 
     # -- memops ----------------------------------------------------------------
     def memop_fn(self, name: str) -> Callable[[int, int], int]:
-        """Compile (and cache) a memop declaration into a Python callable."""
+        """Compile (and cache) a memop declaration into a Python callable.
+
+        The body shape is validated once, here, so malformed declarations (an
+        empty body, a missing branch, a non-``return`` statement) surface as
+        :class:`InterpError` naming the memop instead of a bare ``IndexError``
+        or ``AssertionError`` at call time.
+        """
         if name in self._memop_cache:
             return self._memop_cache[name]
         decl = self.info.memops.get(name)
         if decl is None:
             raise InterpError(f"no memop named '{name}'")
+        if len(decl.params) != 2:
+            raise InterpError(
+                f"memop '{name}' must take exactly two parameters "
+                f"(found {len(decl.params)})"
+            )
         stored_name, local_name = (p.name for p in decl.params)
+        if stored_name == local_name:
+            raise InterpError(
+                f"memop '{name}' declares both parameters with the same name "
+                f"'{stored_name}'"
+            )
+        body = [s for s in decl.body if not isinstance(s, ast.SNoop)]
+        if not body:
+            raise InterpError(f"memop '{name}' has an empty body")
+        stmt = body[0]
 
-        def run(stored: int, local: int) -> int:
-            env = {stored_name: stored, local_name: local}
-            body = [s for s in decl.body if not isinstance(s, ast.SNoop)]
-            stmt = body[0]
-            if isinstance(stmt, ast.SReturn):
-                return _mask32(_eval_const_like(stmt.value, env, self.info))
-            assert isinstance(stmt, ast.SIf)
-            if _eval_const_like(stmt.cond, env, self.info):
-                ret = stmt.then_body[0]
-            else:
-                ret = stmt.else_body[0]
-            assert isinstance(ret, ast.SReturn)
-            return _mask32(_eval_const_like(ret.value, env, self.info))
+        def compile_return(ret: ast.Stmt, where: str) -> Callable[[int, int], int]:
+            if not isinstance(ret, ast.SReturn) or ret.value is None:
+                raise InterpError(
+                    f"memop '{name}': the {where} must be a 'return <expr>;' statement"
+                )
+            return _compile_memop_expr(ret.value, name, stored_name, local_name, self.info)
+
+        if isinstance(stmt, ast.SReturn):
+            value_fn = compile_return(stmt, "body")
+
+            def run(stored: int, local: int) -> int:
+                return _mask32(value_fn(stored, local))
+
+        elif isinstance(stmt, ast.SIf):
+            cond_fn = _compile_memop_expr(stmt.cond, name, stored_name, local_name, self.info)
+            then_body = [s for s in stmt.then_body if not isinstance(s, ast.SNoop)]
+            else_body = [s for s in stmt.else_body if not isinstance(s, ast.SNoop)]
+            if not then_body or not else_body:
+                raise InterpError(
+                    f"memop '{name}' must return a value in both branches of its "
+                    "if statement"
+                )
+            then_fn = compile_return(then_body[0], "then-branch")
+            else_fn = compile_return(else_body[0], "else-branch")
+
+            def run(stored: int, local: int) -> int:
+                if cond_fn(stored, local):
+                    return _mask32(then_fn(stored, local))
+                return _mask32(else_fn(stored, local))
+
+        else:
+            raise InterpError(
+                f"memop '{name}' body must be a single return statement or an if "
+                "statement with one return in each branch"
+            )
 
         self._memop_cache[name] = run
         return run
@@ -126,32 +175,45 @@ class SwitchRuntime:
         return self.random_state
 
 
-def _eval_const_like(expr: ast.Expr, env: Dict[str, int], info: ProgramInfo) -> int:
-    """Evaluate a side-effect-free expression over an integer environment
-    (used for memop bodies, which are restricted to pure arithmetic)."""
+def _compile_memop_expr(
+    expr: ast.Expr, memop_name: str, stored_name: str, local_name: str, info: ProgramInfo
+) -> Callable[[int, int], int]:
+    """Compile a memop-body expression into a closure over ``(stored, local)``.
+
+    Memop bodies are restricted to pure arithmetic over the two parameters
+    and program constants; the AST is walked once at compile time instead of
+    on every stateful operation.
+    """
     if isinstance(expr, ast.EInt):
-        return expr.value
+        value = expr.value
+        return lambda stored, local: value
     if isinstance(expr, ast.EBool):
-        return 1 if expr.value else 0
+        value = 1 if expr.value else 0
+        return lambda stored, local: value
     if isinstance(expr, ast.EVar):
-        if expr.name in env:
-            return env[expr.name]
+        if expr.name == stored_name:
+            return lambda stored, local: stored
+        if expr.name == local_name:
+            return lambda stored, local: local
         const = info.consts.lookup(expr.name)
         if const is not None:
-            return const
-        raise InterpError(f"undefined variable '{expr.name}' in memop")
+            return lambda stored, local: const
+        raise InterpError(
+            f"undefined variable '{expr.name}' in memop '{memop_name}'"
+        )
     if isinstance(expr, ast.EUnary):
-        value = _eval_const_like(expr.operand, env, info)
+        operand = _compile_memop_expr(expr.operand, memop_name, stored_name, local_name, info)
         if expr.op is ast.UnOp.NEG:
-            return -value
+            return lambda stored, local: -operand(stored, local)
         if expr.op is ast.UnOp.BITNOT:
-            return ~value & 0xFFFFFFFF
-        return 0 if value else 1
+            return lambda stored, local: ~operand(stored, local) & 0xFFFFFFFF
+        return lambda stored, local: 0 if operand(stored, local) else 1
     if isinstance(expr, ast.EBinary):
-        left = _eval_const_like(expr.left, env, info)
-        right = _eval_const_like(expr.right, env, info)
-        return _apply_binop(expr.op, left, right)
-    raise InterpError("expression is not allowed in a memop")
+        left = _compile_memop_expr(expr.left, memop_name, stored_name, local_name, info)
+        right = _compile_memop_expr(expr.right, memop_name, stored_name, local_name, info)
+        op = expr.op
+        return lambda stored, local: _apply_binop(op, left(stored, local), right(stored, local))
+    raise InterpError(f"expression is not allowed in memop '{memop_name}'")
 
 
 def _apply_binop(op: ast.BinOp, left: int, right: int) -> int:
@@ -252,8 +314,11 @@ class HandlerInterpreter:
             env[stmt.name] = self._eval(stmt.value, env, result)
             return
         if isinstance(stmt, ast.SIf):
+            # if/match branches execute in the handler's own scope (Lucid has a
+            # single flat handler scope): locals declared or assigned inside a
+            # branch remain visible after it.
             branch = stmt.then_body if self._truthy(stmt.cond, env, result) else stmt.else_body
-            self._exec_block(branch, dict(env) if False else env, result)
+            self._exec_block(branch, env, result)
             return
         if isinstance(stmt, ast.SMatch):
             values = [self._as_int(self._eval(e, env, result)) for e in stmt.scrutinees]

@@ -184,6 +184,117 @@ def test_match_statement_execution():
     assert switch.array("t").snapshot()[:3] == [10, 20, 30]
 
 
+@pytest.mark.parametrize("fast_path", [False, True])
+def test_if_and_match_branches_share_handler_scope(fast_path):
+    """Lucid handlers have one flat scope: assignments made inside an if- or
+    match-branch are visible after the branch (regression test for the old
+    dead ``dict(env) if False else env`` expression in the interpreter)."""
+    source = """
+    global t_if = new Array<<32>>(4);
+    global t_match = new Array<<32>>(4);
+    event e(int a);
+    handle e(int a) {
+      int x = 0;
+      if (a == 1) { x = 5; } else { x = 7; }
+      Array.set(t_if, 0, x);
+      int y = 0;
+      match (a) with
+      | 1 -> { y = 11; }
+      | _ -> { y = 13; }
+      Array.set(t_match, 0, y);
+    }
+    """
+    network = Network(fast_path=fast_path)
+    switch = network.add_switch(0, check_program(source))
+    network.inject(0, EventInstance("e", (1,)))
+    network.run()
+    assert switch.array("t_if").get(0) == 5
+    assert switch.array("t_match").get(0) == 11
+    network.inject(0, EventInstance("e", (2,)))
+    network.run()
+    assert switch.array("t_if").get(0) == 7
+    assert switch.array("t_match").get(0) == 13
+
+
+# ---------------------------------------------------------------------------
+# memop compilation guards
+# ---------------------------------------------------------------------------
+MEMOP_PROGRAM = """
+global t = new Array<<32>>(4);
+memop m(int stored, int x) { return stored + x; }
+event e(int v);
+handle e(int v) { Array.set(t, 0, m, v); }
+"""
+
+
+def _runtime_with_mutated_memop(mutate):
+    from repro.interp import SwitchRuntime
+
+    checked = check_program(MEMOP_PROGRAM)
+    mutate(checked.info.memops["m"])
+    return SwitchRuntime(checked)
+
+
+def test_memop_fn_compiles_valid_memop():
+    from repro.interp import SwitchRuntime
+
+    runtime = SwitchRuntime(check_program(MEMOP_PROGRAM))
+    assert runtime.memop_fn("m")(40, 2) == 42
+
+
+def test_memop_fn_rejects_unknown_name():
+    from repro.interp import SwitchRuntime
+
+    runtime = SwitchRuntime(check_program(MEMOP_PROGRAM))
+    with pytest.raises(InterpError, match="nope"):
+        runtime.memop_fn("nope")
+
+
+def test_memop_fn_rejects_empty_body():
+    runtime = _runtime_with_mutated_memop(lambda decl: decl.body.clear())
+    with pytest.raises(InterpError, match="'m'"):
+        runtime.memop_fn("m")
+
+
+def test_memop_fn_rejects_if_with_empty_branch():
+    from repro.frontend import ast as fast
+    from repro.frontend.source import dummy_span
+
+    def mutate(decl):
+        ret = decl.body[0]
+        decl.body[:] = [
+            fast.SIf(span=dummy_span(), cond=fast.EBool(span=dummy_span(), value=True),
+                     then_body=[ret], else_body=[])
+        ]
+
+    runtime = _runtime_with_mutated_memop(mutate)
+    with pytest.raises(InterpError, match="'m'"):
+        runtime.memop_fn("m")
+
+
+def test_memop_fn_rejects_duplicate_parameter_names():
+    def mutate(decl):
+        decl.params[1].name = decl.params[0].name
+
+    runtime = _runtime_with_mutated_memop(mutate)
+    with pytest.raises(InterpError, match="'m'"):
+        runtime.memop_fn("m")
+
+
+def test_memop_fn_rejects_non_return_body():
+    from repro.frontend import ast as fast
+    from repro.frontend.source import dummy_span
+
+    def mutate(decl):
+        decl.body[:] = [fast.SNoop(span=dummy_span()),
+                        fast.SAssign(span=dummy_span(), name="stored",
+                                     value=fast.EInt(span=dummy_span(), value=1))]
+
+    runtime = _runtime_with_mutated_memop(mutate)
+    with pytest.raises(InterpError, match="'m'"):
+        runtime.memop_fn("m")
+
+
 def test_extern_binding_is_called():
     source = "extern fun int report(int v); event e(int v); handle e(int v) { int x = report(v); }"
     network, switch = single_switch_network(check_program(source))

@@ -65,6 +65,12 @@ def test_multiplication_rejected():
         check("memop multiply(int memval, int x) { return (10 * memval) + x; }")
 
 
+def test_duplicate_parameter_names_rejected():
+    # the second binding would shadow the stored value, making it inaccessible
+    with pytest.raises(MemopError, match="same name"):
+        check("memop dup(int x, int x) { return x + 1; }")
+
+
 # -- other violations ----------------------------------------------------------
 def test_variable_used_twice_in_expression_rejected():
     with pytest.raises(MemopError, match="once"):

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Scenario throughput: events/sec per bundled scenario on both engines,
+with machine-readable output so the performance trajectory is recorded.
+
+Run standalone::
+
+    python benchmarks/bench_scenarios.py                     # full sweep
+    python benchmarks/bench_scenarios.py --smoke             # CI smoke
+    python benchmarks/bench_scenarios.py --scenarios nat-churn,dns-reflection
+    python benchmarks/bench_scenarios.py --events 50000 --out BENCH_scenarios.json
+
+Each scenario is run under the compiled fast path and the tree-walking
+reference engine with identical traffic (same seed); the JSON report records
+events/sec, speedup, invariant verdicts, and the final array digest of both
+engines (which must match).  ``--smoke`` runs two scenarios with small
+counts and fails if any invariant is violated or the engines disagree —
+cheap enough for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+from repro.scenarios import SCENARIOS, run_scenario
+
+#: scenarios whose invariants observe every event pay per-event callback
+#: overhead by design; everything else runs the batched trace-free drain
+DEFAULT_EVENTS = 20_000
+SMOKE_SCENARIOS = ("heavy-hitter-single", "heavy-hitter-fattree")
+SMOKE_EVENTS = 3_000
+
+
+def bench_one(name: str, events: int, seed: int) -> dict:
+    scenario = SCENARIOS[name]
+    fast = run_scenario(scenario, events, seed, fast_path=True)
+    reference = run_scenario(scenario, events, seed, fast_path=False)
+    return {
+        "scenario": name,
+        "app": scenario.app_key,
+        "topology": scenario.topology,
+        "events": fast.events_injected,
+        "events_handled": fast.events_handled,
+        "compiled_eps": round(fast.events_per_sec),
+        "reference_eps": round(reference.events_per_sec),
+        "speedup": (
+            round(fast.events_per_sec / reference.events_per_sec, 2)
+            if reference.events_per_sec
+            else 0.0
+        ),
+        "ok": fast.ok and reference.ok,
+        "engines_agree": fast.verdict_signature() == reference.verdict_signature(),
+        "array_digest": fast.array_digest,
+    }
+
+
+def print_rows(rows):
+    headers = [
+        "scenario", "app", "topology", "events",
+        "compiled_eps", "reference_eps", "speedup", "ok", "engines_agree",
+    ]
+    widths = {h: max(len(h), max(len(str(r[h])) for r in rows)) for h in headers}
+    print("  ".join(h.ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=DEFAULT_EVENTS,
+                        help=f"traffic events per scenario (default {DEFAULT_EVENTS})")
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument("--scenarios", type=str, default="",
+                        help="comma-separated scenario names (default: all)")
+    parser.add_argument("--out", type=str, default="BENCH_scenarios.json",
+                        help="JSON report path (default BENCH_scenarios.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI mode: two scenarios, small event counts, "
+                        "fails on any invariant violation or engine mismatch")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        names = list(SMOKE_SCENARIOS)
+        events = min(args.events, SMOKE_EVENTS)
+    else:
+        names = [n for n in args.scenarios.split(",") if n] or sorted(SCENARIOS)
+        events = args.events
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenarios: {unknown}; known: {sorted(SCENARIOS)}")
+        return 2
+
+    rows = [bench_one(name, events, args.seed) for name in names]
+    print("=== scenario throughput: compiled fast path vs reference engine ===")
+    print_rows(rows)
+
+    report = {
+        "benchmark": "scenarios",
+        "python": platform.python_version(),
+        "events_per_scenario": events,
+        "seed": args.seed,
+        "results": rows,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}")
+
+    bad = [r["scenario"] for r in rows if not (r["ok"] and r["engines_agree"])]
+    if bad:
+        print(f"FAILED scenarios (invariant violation or engine mismatch): {bad}")
+        return 1
+    if args.smoke:
+        print(f"smoke ok: {len(rows)} scenarios, all invariants hold on both engines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

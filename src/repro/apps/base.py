@@ -9,7 +9,7 @@ benchmarks iterate over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.backend.compiler import CompiledProgram, CompilerOptions, compile_program
 
@@ -32,6 +32,10 @@ class Application:
     paper_lucid_loc: int = 0
     paper_p4_loc: int = 0
     paper_stages: int = 0
+    #: names of the safety/consistency invariants this application upholds,
+    #: resolved against the scenario engine's invariant registry
+    #: (:mod:`repro.scenarios.invariants`) by :meth:`make_invariants`
+    invariants: Tuple[str, ...] = ()
 
     def compile(
         self, options: Optional[CompilerOptions] = None, emit_naive_p4: bool = True
@@ -40,3 +44,14 @@ class Application:
         if options is None:
             options = CompilerOptions(emit_naive_p4=emit_naive_p4)
         return compile_program(self.source, name=self.key, options=options)
+
+    def make_invariants(self) -> List[object]:
+        """Instantiate this application's default invariant checks.
+
+        The invariant classes live in :mod:`repro.scenarios.invariants`; the
+        import is deferred so the application catalogue stays importable
+        without the scenario engine (and without import cycles).
+        """
+        from repro.scenarios.invariants import make_invariant
+
+        return [make_invariant(name) for name in self.invariants]

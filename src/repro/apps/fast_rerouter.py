@@ -118,4 +118,5 @@ APP = Application(
     paper_lucid_loc=115,
     paper_p4_loc=899,
     paper_stages=8,
+    invariants=("reroute-recovers",),
 )

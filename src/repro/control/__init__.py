@@ -4,7 +4,8 @@ case study (Section 7.4)."""
 from repro.control.remote_controller import (
     ControlPlaneConfig,
     InstallRecord,
+    InstallSummary,
     RemoteController,
 )
 
-__all__ = ["RemoteController", "ControlPlaneConfig", "InstallRecord"]
+__all__ = ["RemoteController", "ControlPlaneConfig", "InstallRecord", "InstallSummary"]

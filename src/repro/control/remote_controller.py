@@ -12,7 +12,7 @@ model can optionally add.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import random
 
@@ -33,6 +33,20 @@ class ControlPlaneConfig:
     #: may queue behind each other; the paper's measured baseline excludes
     #: this queueing, so it is off by default
     serialize_installs: bool = False
+
+
+@dataclass
+class InstallSummary:
+    """Aggregate statistics of a streamed batch of flow installs."""
+
+    count: int = 0
+    total_latency_ns: int = 0
+    min_latency_ns: int = 0
+    max_latency_ns: int = 0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.total_latency_ns / self.count if self.count else 0.0
 
 
 @dataclass
@@ -68,8 +82,10 @@ class RemoteController:
         excess_mean = max(1, cfg.install_mean_ns - cfg.install_min_ns)
         return int(cfg.install_min_ns + self._rng.expovariate(1.0 / excess_mean))
 
-    def install_flow(self, flow_id: int, requested_at_ns: int) -> InstallRecord:
-        """Install one flow entry; returns the completed record."""
+    def _completion_time_ns(self, requested_at_ns: int) -> int:
+        """When one install requested at ``requested_at_ns`` completes —
+        detection (polling tick), PCIe notification, optional serialisation
+        behind earlier installs, then the sampled driver-level install."""
         cfg = self.config
         start = requested_at_ns
         if cfg.poll_interval_ns > 0:
@@ -82,11 +98,37 @@ class RemoteController:
         completed = start + self._sample_install_ns()
         if cfg.serialize_installs:
             self._busy_until_ns = completed
+        return completed
+
+    def install_flow(self, flow_id: int, requested_at_ns: int) -> InstallRecord:
+        """Install one flow entry; returns the completed record."""
         record = InstallRecord(
-            flow_id=flow_id, requested_at_ns=requested_at_ns, completed_at_ns=completed
+            flow_id=flow_id,
+            requested_at_ns=requested_at_ns,
+            completed_at_ns=self._completion_time_ns(requested_at_ns),
         )
         self.records.append(record)
         return record
+
+    def install_stream(self, requests: Iterable[Tuple[int, int]]) -> InstallSummary:
+        """Install a lazily generated stream of ``(flow_id, requested_at_ns)``
+        requests and return aggregate latency statistics.
+
+        The scenario engine's firewall install-latency comparison drives
+        arbitrarily long flow streams through the controller model; unlike
+        :meth:`install_flow`, nothing is appended to :attr:`records`, so the
+        memory footprint is independent of the stream length.
+        """
+        summary = InstallSummary()
+        for _flow_id, requested_at_ns in requests:
+            latency = self._completion_time_ns(requested_at_ns) - requested_at_ns
+            if summary.count == 0 or latency < summary.min_latency_ns:
+                summary.min_latency_ns = latency
+            if latency > summary.max_latency_ns:
+                summary.max_latency_ns = latency
+            summary.count += 1
+            summary.total_latency_ns += latency
+        return summary
 
     # -- statistics --------------------------------------------------------------
     def latencies_ns(self) -> List[int]:

@@ -21,6 +21,8 @@ The submodules group the functionality the same way the paper does:
 * :mod:`repro.apps`     — the ten applications of Figure 9;
 * :mod:`repro.analysis`, :mod:`repro.workloads`, :mod:`repro.control` — the
   evaluation's models, workload generators, and the remote-control baseline;
+* :mod:`repro.scenarios` — the scenario engine: topologies, streaming
+  traffic models, invariants, and the ``python -m repro.scenarios`` CLI;
 * :mod:`repro.formal`   — the Appendix A core calculus.
 """
 
@@ -61,6 +63,7 @@ from repro.interp import (
     single_switch_network,
 )
 from repro.pisa import PisaPipeline, simulate_concurrent_delays
+from repro.scenarios import SCENARIOS, Scenario, run_scenario, run_scenario_both
 from repro.workloads import DnsTrafficMix, FlowWorkload, LinkFailureSchedule
 
 __all__ = [
@@ -101,6 +104,11 @@ __all__ = [
     "FlowWorkload",
     "DnsTrafficMix",
     "LinkFailureSchedule",
+    # scenario engine
+    "SCENARIOS",
+    "Scenario",
+    "run_scenario",
+    "run_scenario_both",
     # errors
     "LucidError",
     "LexError",

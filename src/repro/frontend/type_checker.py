@@ -678,14 +678,19 @@ def check_program(
     source: "str | ast.Program",
     name: str = "<string>",
     symbolic_bindings: Optional[Dict[str, int]] = None,
+    group_bindings: Optional[Dict[str, List[int]]] = None,
 ) -> CheckedProgram:
     """Parse (if needed) and fully check a Lucid program.
+
+    ``group_bindings`` overrides the members of ``const group`` declarations
+    (e.g. ``NEIGHBORS``) so the same program text can be instantiated
+    per-switch against a concrete topology.
 
     Raises :class:`~repro.errors.LucidError` subclasses on any failure; returns
     a :class:`CheckedProgram` on success.
     """
     program = parse_program(source, name=name) if isinstance(source, str) else source
-    info = collect_program_info(program, symbolic_bindings)
+    info = collect_program_info(program, symbolic_bindings, group_bindings)
     check_all_memops(program)
     checker = TypeChecker(info)
     return checker.check()

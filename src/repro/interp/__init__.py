@@ -11,6 +11,7 @@ from repro.interp.interpreter import (
     lucid_hash,
 )
 from repro.interp.network import (
+    CONTROL,
     Network,
     SchedulerConfig,
     Switch,
@@ -23,6 +24,7 @@ __all__ = [
     "RuntimeArray",
     "EventInstance",
     "LOCAL",
+    "CONTROL",
     "HandlerInterpreter",
     "CompiledSwitchRuntime",
     "HandlerCompiler",

@@ -94,4 +94,7 @@ class RuntimeArray:
         return sum(1 for cell in self.cells if cell != 0)
 
     def reset(self) -> None:
+        """Zero every cell and the read/write counters (fresh-switch state)."""
         self.cells = [0] * self.size
+        self.reads = 0
+        self.writes = 0

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.frontend.type_checker import CheckedProgram, check_program
@@ -59,6 +59,8 @@ class SwitchStats:
     recirculated_bytes: int = 0
     remote_sends: int = 0
     drops: int = 0
+    #: remote events lost because the link to their target was down
+    link_drops: int = 0
     handled_by_event: Dict[str, int] = field(default_factory=dict)
 
     def recirc_bandwidth_bps(self, duration_ns: int) -> float:
@@ -100,6 +102,15 @@ class Switch:
 # deterministically before the (incomparable) event is ever inspected
 _QueuedEvent = Tuple[int, int, int, EventInstance]
 
+#: sentinel "switch id" for control actions in a streaming event source: an
+#: item ``(time_ns, CONTROL, fn)`` calls ``fn(network)`` at ``time_ns`` instead
+#: of dispatching an event (used e.g. for scheduled link failures)
+CONTROL = -2
+
+#: one item of a streaming event source: ``(time_ns, switch_id, event)``, or
+#: ``(time_ns, CONTROL, fn)`` for a control action
+SourceItem = Tuple[int, int, Union[EventInstance, Callable[["Network"], None]]]
+
 
 @dataclass
 class TraceEntry:
@@ -123,6 +134,9 @@ class Network:
         self.now_ns = 0
         self._queue: List[_QueuedEvent] = []
         self._serial = 0
+        #: directed link -> number of active failures (overlapping failures
+        #: of one link only clear when every one of them has recovered)
+        self._down_links: Dict[Tuple[int, int], int] = {}
         self.trace: List[TraceEntry] = []
         self.trace_enabled = True
         self.on_handle: Optional[Callable[[TraceEntry], None]] = None
@@ -156,9 +170,38 @@ class Network:
         self.links[(b, a)] = latency
 
     def link_latency(self, src: int, dst: int) -> int:
+        """Latency of a direct send from ``src`` to ``dst``.
+
+        The simulated fabric is logically full-mesh: a pair with no declared
+        link still delivers at the default latency (remote events model an
+        overlay on top of whatever underlay routing exists).  Declared links
+        only override the latency — and are what :meth:`fail_link` acts on.
+        """
         if src == dst:
             return 0
         return self.links.get((src, dst), self.config.link_latency_ns)
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Take the ``a``--``b`` link down (both directions): direct remote
+        sends between ``a`` and ``b`` are dropped and counted as
+        ``link_drops``.  Failures nest: with overlapping failures of the same
+        link, the link stays down until every failure has been restored.
+        Only the direct (source, target) pair is consulted — sends between
+        other pairs are unaffected (see :meth:`link_latency`)."""
+        for pair in ((a, b), (b, a)):
+            self._down_links[pair] = self._down_links.get(pair, 0) + 1
+
+    def restore_link(self, a: int, b: int) -> None:
+        """Undo one :meth:`fail_link` of the ``a``--``b`` link."""
+        for pair in ((a, b), (b, a)):
+            count = self._down_links.get(pair, 0)
+            if count <= 1:
+                self._down_links.pop(pair, None)
+            else:
+                self._down_links[pair] = count - 1
+
+    def link_is_down(self, a: int, b: int) -> bool:
+        return (a, b) in self._down_links
 
     def switch(self, switch_id: int) -> Switch:
         try:
@@ -204,6 +247,9 @@ class Network:
                 source.stats.recirculations += recirc_passes
                 source.stats.recirculated_bytes += recirc_passes * event.payload_bytes()
             else:
+                if (source.id, target) in self._down_links:
+                    source.stats.link_drops += 1
+                    continue
                 source.stats.remote_sends += 1
                 arrival = (
                     self.now_ns
@@ -245,6 +291,10 @@ class Network:
             return None
         time_ns, _, switch_id, event = heapq.heappop(self._queue)
         self.now_ns = max(self.now_ns, time_ns)
+        if switch_id == CONTROL:
+            # a control action re-queued by an interrupted streaming run
+            event(self)
+            return None
         switch = self.switches.get(switch_id)
         if switch is None:
             return None
@@ -256,15 +306,35 @@ class Network:
             self.on_handle(entry)
         return entry
 
-    def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        until_ns: Optional[int] = None,
+        max_events: Optional[int] = None,
+        source: Optional[Iterable[SourceItem]] = None,
+    ) -> int:
         """Run the simulation until the queue drains, ``until_ns`` is reached,
         or ``max_events`` have been handled.  Returns the number of events
         handled by this call.
+
+        ``source`` streams externally injected traffic: an iterable of
+        ``(time_ns, switch_id, event)`` items in non-decreasing time order
+        (or ``(time_ns, CONTROL, fn)`` control actions).  The drain pulls one
+        item at a time and merges it with the internal event heap, so
+        arbitrarily long workloads run in memory independent of their length —
+        nothing is materialised — *provided tracing is off*
+        (``trace_enabled=False``, as the scenario runner configures): with
+        tracing on, :attr:`trace` still accumulates one entry per handled
+        event.  A streaming run returns once the source is
+        exhausted and the queue is drained up to the last source timestamp
+        (or ``until_ns`` when given); later events — e.g. self-perpetuating
+        control loops — stay queued for a subsequent plain :meth:`run`.
 
         When tracing is off (``trace_enabled=False`` and no ``on_handle``
         callback) the drain runs in a batched mode that skips per-event
         :class:`TraceEntry` allocation entirely.
         """
+        if source is not None:
+            return self._run_streaming(source, until_ns, max_events)
         if not self.trace_enabled and self.on_handle is None:
             return self._run_batched(until_ns, max_events)
         handled = 0
@@ -294,6 +364,9 @@ class Network:
             time_ns, _, switch_id, event = pop(queue)
             if time_ns > self.now_ns:
                 self.now_ns = time_ns
+            if switch_id == CONTROL:
+                event(self)
+                continue
             switch = switches.get(switch_id)
             if switch is None:
                 continue
@@ -303,8 +376,125 @@ class Network:
             self.now_ns = max(self.now_ns, until_ns)
         return handled
 
+    def _run_streaming(
+        self,
+        source: Iterable[SourceItem],
+        until_ns: Optional[int],
+        max_events: Optional[int],
+    ) -> int:
+        """Merge a time-ordered external event stream with the internal heap.
+
+        The pop side must stay semantically identical to :meth:`step` and
+        :meth:`_run_batched` (clock advance, CONTROL dispatch, missing-switch
+        skip); all per-event accounting is shared through :meth:`_dispatch`.
+
+        Holds at most one not-yet-due source item at a time.  On equal
+        timestamps the source item runs first, which matches the semantics of
+        injecting the whole stream up front (pre-run injections get earlier
+        serial numbers than generated events).  If the run stops early
+        (``max_events``/``until_ns``) while a source item is held, the item is
+        pushed onto the queue so it is not lost.  A source that yields
+        nothing degenerates to a plain :meth:`run` (full drain).
+        """
+        handled = 0
+        items = iter(source)
+        pending: Optional[SourceItem] = None
+        last_source_ns: Optional[int] = None
+        exhausted = False
+        traced = self.trace_enabled or self.on_handle is not None
+        queue = self._queue
+        while True:
+            if pending is None and not exhausted:
+                pending = next(items, None)
+                if pending is None:
+                    exhausted = True
+            if max_events is not None and handled >= max_events:
+                break
+            take_source = pending is not None and (
+                not queue or pending[0] <= queue[0][0]
+            )
+            if take_source:
+                time_ns, switch_id, payload = pending
+                if until_ns is not None and time_ns > until_ns:
+                    break
+                pending = None
+                if time_ns > self.now_ns:
+                    self.now_ns = time_ns
+                last_source_ns = self.now_ns
+                if switch_id == CONTROL:
+                    payload(self)
+                    continue
+                switch = self.switches.get(switch_id)
+                if switch is None:
+                    raise SimulationError(f"no switch with id {switch_id}")
+                event = payload
+            elif queue:
+                top_ns = queue[0][0]
+                if until_ns is not None and top_ns > until_ns:
+                    break
+                if (
+                    exhausted
+                    and until_ns is None
+                    and last_source_ns is not None
+                    and top_ns > last_source_ns
+                ):
+                    break
+                time_ns, _, switch_id, event = heapq.heappop(queue)
+                if time_ns > self.now_ns:
+                    self.now_ns = time_ns
+                if switch_id == CONTROL:
+                    event(self)
+                    continue
+                switch = self.switches.get(switch_id)
+                if switch is None:
+                    continue
+            else:
+                break
+            result = self._dispatch(switch, event)
+            handled += 1
+            if traced:
+                entry = TraceEntry(
+                    time_ns=self.now_ns, switch_id=switch.id, event=event, result=result
+                )
+                if self.trace_enabled:
+                    self.trace.append(entry)
+                if self.on_handle is not None:
+                    self.on_handle(entry)
+        if pending is not None:
+            # interrupted with an item in hand: re-queue it instead of losing it
+            self._push(max(pending[0], self.now_ns), pending[1], pending[2])
+        if until_ns is not None:
+            self.now_ns = max(self.now_ns, until_ns)
+        return handled
+
     def pending_events(self) -> int:
         return len(self._queue)
+
+    # -- reuse -------------------------------------------------------------------
+    def reset(self, arrays: bool = True) -> None:
+        """Reset all simulation state so the same topology (switches, links,
+        compiled programs) can be reused for another run from time zero.
+
+        Clears the event queue, clock, trace, per-switch stats and logs, and
+        restored failed links.  With ``arrays=True`` (the default) every
+        switch's persistent arrays are zeroed as well — the compiled fast path
+        keeps working because its closures hold the :class:`RuntimeArray`
+        objects, not their cells.  Without ``reset()``, consecutive
+        :meth:`run` calls *accumulate*: stats, traces, and array state carry
+        over (see ``tests/test_scenarios.py``).
+        """
+        self.now_ns = 0
+        self._queue.clear()
+        self._serial = 0
+        self._down_links.clear()
+        self.trace.clear()
+        for switch in self.switches.values():
+            switch.stats = SwitchStats()
+            switch.log.clear()
+            switch.runtime.time_ns = 0
+            if arrays:
+                for arr in switch.runtime.arrays.values():
+                    arr.reset()
 
     # -- convenience -------------------------------------------------------------
     def total_stats(self) -> SwitchStats:
@@ -316,6 +506,7 @@ class Network:
             total.recirculated_bytes += switch.stats.recirculated_bytes
             total.remote_sends += switch.stats.remote_sends
             total.drops += switch.stats.drops
+            total.link_drops += switch.stats.link_drops
         return total
 
 

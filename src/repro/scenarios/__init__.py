@@ -1,0 +1,66 @@
+"""The scenario engine: topologies, streaming traffic models, invariants,
+and a runner that wires them to the bundled applications.
+
+Quick tour::
+
+    from repro.scenarios import SCENARIOS, run_scenario, run_scenario_both
+
+    result = run_scenario(SCENARIOS["nat-churn"], events=20_000, seed=1)
+    assert result.ok                       # every invariant held
+    fast, ref = run_scenario_both(SCENARIOS["dns-reflection"], 5_000, 1)
+
+or from the command line::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run heavy-hitter-fattree --events 1000000 --seed 1
+
+Traffic is streamed (`Network.run(source=...)`), so the peak memory of a run
+is independent of the event count.
+"""
+
+from repro.scenarios.invariants import (
+    Invariant,
+    InvariantReport,
+    invariant_names,
+    make_invariant,
+)
+from repro.scenarios.registry import SCENARIOS, Scenario, get, register
+from repro.scenarios.runner import (
+    ScenarioResult,
+    ScenarioSetup,
+    network_array_digest,
+    run_scenario,
+    run_scenario_both,
+    run_setup,
+)
+from repro.scenarios.topology import (
+    Topology,
+    fat_tree,
+    leaf_spine,
+    line,
+    ring,
+    single_switch,
+)
+
+__all__ = [
+    "Invariant",
+    "InvariantReport",
+    "invariant_names",
+    "make_invariant",
+    "SCENARIOS",
+    "Scenario",
+    "get",
+    "register",
+    "ScenarioResult",
+    "ScenarioSetup",
+    "network_array_digest",
+    "run_scenario",
+    "run_scenario_both",
+    "run_setup",
+    "Topology",
+    "fat_tree",
+    "leaf_spine",
+    "line",
+    "ring",
+    "single_switch",
+]

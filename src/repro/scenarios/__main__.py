@@ -1,0 +1,116 @@
+"""Command-line entry point of the scenario engine.
+
+::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run <name> [--events N] [--seed S]
+                                  [--fast-path | --reference | --both]
+                                  [--json PATH] [--quiet]
+
+``run`` exits 0 when every invariant held (and, with ``--both``, when the
+compiled and reference engines produced identical verdicts and final array
+states); 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.scenarios.registry import SCENARIOS, get
+from repro.scenarios.runner import ScenarioResult, run_scenario, run_scenario_both
+
+
+def _print_listing() -> None:
+    width = max(len(name) for name in SCENARIOS)
+    print(f"{'name'.ljust(width)}  app     topology        title")
+    for name in sorted(SCENARIOS):
+        s = SCENARIOS[name]
+        print(f"{name.ljust(width)}  {s.app_key.ljust(6)}  {s.topology.ljust(14)}  {s.title}")
+
+
+def _print_result(result: ScenarioResult, quiet: bool) -> None:
+    status = "ok" if result.ok else "FAILED"
+    print(
+        f"[{result.engine}] {result.scenario}: {status} — "
+        f"{result.events_injected} injected, {result.events_handled} handled, "
+        f"{result.sim_ns / 1e6:.2f} ms simulated, "
+        f"{result.events_per_sec:,.0f} events/s, digest {result.array_digest}"
+    )
+    for report in result.invariants:
+        mark = "ok " if report.ok else "VIOLATED"
+        print(f"  [{mark}] {report.name}" + (f" ({report.violations} violations)" if not report.ok else ""))
+        if not report.ok and not quiet:
+            for message in report.messages:
+                print(f"        {message}")
+    if result.details and not quiet:
+        for key, value in result.details.items():
+            print(f"  {key}: {value}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the bundled scenarios")
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument("name", help="scenario name (see 'list')")
+    run_parser.add_argument("--events", type=int, default=20_000,
+                            help="traffic events to stream (default 20000)")
+    run_parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    engine = run_parser.add_mutually_exclusive_group()
+    engine.add_argument("--fast-path", action="store_true", default=False,
+                        help="compiled-closure engine only (the default)")
+    engine.add_argument("--reference", action="store_true",
+                        help="tree-walking reference engine only")
+    engine.add_argument("--both", action="store_true",
+                        help="run both engines and require identical verdicts "
+                        "and final array states")
+    run_parser.add_argument("--json", type=str, default="",
+                            help="also write the result(s) as JSON to PATH")
+    run_parser.add_argument("--quiet", action="store_true",
+                            help="suppress violation messages and details")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        _print_listing()
+        return 0
+
+    try:
+        scenario = get(args.name)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+
+    results: List[ScenarioResult] = []
+    if args.both:
+        try:
+            fast, reference = run_scenario_both(scenario, args.events, args.seed)
+        except AssertionError as exc:
+            print(f"ENGINE MISMATCH: {exc}")
+            return 1
+        results = [fast, reference]
+    else:
+        # --fast-path and the default both select the compiled engine
+        fast_path = args.fast_path or not args.reference
+        results = [run_scenario(scenario, args.events, args.seed, fast_path=fast_path)]
+
+    for result in results:
+        _print_result(result, args.quiet)
+    if args.both:
+        print("engines agree: identical invariant verdicts and array states")
+
+    if args.json:
+        payload = [r.to_dict() for r in results]
+        with open(args.json, "w") as fh:
+            json.dump(payload if len(payload) > 1 else payload[0], fh, indent=2)
+        print(f"wrote {args.json}")
+
+    return 0 if all(r.ok for r in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,568 @@
+"""The bundled scenario catalogue.
+
+Each :class:`Scenario` names an application, a topology, a streaming traffic
+model, and the invariants that must hold; ``build(events, seed)`` assembles a
+fresh :class:`~repro.scenarios.runner.ScenarioSetup` (fresh traffic model and
+invariant instances, so runs on different engines cannot contaminate each
+other).  The catalogue spans the bundled Figure 9 applications, from a
+single-switch heavy-hitter sketch to a 20-switch k=4 fat-tree, a link
+failure on a leaf-spine, and the Figure 17 install-latency comparison driven
+through the remote controller model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List
+
+import random
+
+from repro.apps import ALL_APPLICATIONS
+from repro.control import ControlPlaneConfig, RemoteController
+from repro.interp.events import EventInstance
+from repro.interp.interpreter import lucid_hash
+from repro.interp.network import Network, SourceItem
+from repro.scenarios import topology as topo
+from repro.scenarios import traffic as tm
+from repro.scenarios.invariants import (
+    DnsVictimBlocked,
+    FirewallSolicitedOnly,
+    Invariant,
+    NoDrops,
+    SketchOverestimates,
+)
+from repro.scenarios.runner import ScenarioSetup
+from repro.workloads.failures import LinkFailure
+
+INFINITY = 1_048_576
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, registered scenario."""
+
+    name: str
+    title: str
+    app_key: str
+    topology: str
+    description: str
+    build: Callable[[int, int], ScenarioSetup]
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario '{scenario.name}' registered twice")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario '{name}'; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def _app_source(key: str) -> str:
+    return ALL_APPLICATIONS[key].source
+
+
+def _app_invariants(key: str) -> List[Invariant]:
+    """The application's own invariant hooks (the single source of truth for
+    per-app defaults); scenario builders append scenario-specific checks."""
+    return ALL_APPLICATIONS[key].make_invariants()
+
+
+# ---------------------------------------------------------------------------
+# heavy hitters (CM) — single switch and k=4 fat-tree
+# ---------------------------------------------------------------------------
+def _build_heavy_hitter(topology: topo.Topology):
+    def build(events: int, seed: int) -> ScenarioSetup:
+        traffic = tm.ZipfPacketTraffic(event_name="pkt", hosts=512, alpha=1.2)
+        return ScenarioSetup(
+            topology=topology,
+            make_network=lambda fast_path: topology.build_network(
+                _app_source("CM"), fast_path=fast_path, name="CM"
+            ),
+            traffic=lambda: traffic.events(topology.edge, events, seed),
+            invariants=_app_invariants("CM") + [SketchOverestimates(traffic)],
+            settle_ns=100_000,
+        )
+
+    return build
+
+
+register(
+    Scenario(
+        name="heavy-hitter-single",
+        title="Zipf heavy hitters, one switch",
+        app_key="CM",
+        topology="single",
+        description="Zipf-distributed flow mix through the count-min sketch; "
+        "checks sketch conservation and the count-min overestimate guarantee.",
+        build=_build_heavy_hitter(topo.single_switch()),
+    )
+)
+
+register(
+    Scenario(
+        name="heavy-hitter-fattree",
+        title="Zipf heavy hitters, k=4 fat-tree",
+        app_key="CM",
+        topology="fattree-4",
+        description="The same Zipf mix sprayed across the 8 edge switches of "
+        "a 20-switch k=4 fat-tree; per-switch sketch invariants must hold "
+        "everywhere.",
+        build=_build_heavy_hitter(topo.fat_tree(4)),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# stateful firewall (SFW) — scan burst and install latency
+# ---------------------------------------------------------------------------
+def _build_sfw_scan_burst(events: int, seed: int) -> ScenarioSetup:
+    topology = topo.single_switch()
+    benign_events = max(1, (events * 7) // 10)
+    scan_events = max(0, events - benign_events)
+    benign = tm.FirewallFlowTraffic(hosts=256, external_hosts=1024)
+    # the scan begins a third of the way into the benign window; with
+    # returns on, each flow contributes 2*packets_per_flow events
+    events_per_flow = benign.packets_per_flow * (2 if benign.with_returns else 1)
+    mean_flow_gap_ns = 1e9 / benign.flow_rate_per_s
+    scan_start = int(benign_events / events_per_flow * mean_flow_gap_ns / 3)
+    scan = tm.ScanBurstTraffic(start_ns=scan_start, target_hosts=256)
+    return ScenarioSetup(
+        topology=topology,
+        make_network=lambda fast_path: topology.build_network(
+            _app_source("SFW"), fast_path=fast_path, name="SFW"
+        ),
+        traffic=lambda: tm.merge(
+            benign.events(topology.edge, benign_events, seed),
+            scan.events(topology.edge, scan_events, seed + 1),
+        ),
+        invariants=_app_invariants("SFW"),
+        settle_ns=1_000_000,
+    )
+
+
+register(
+    Scenario(
+        name="sfw-scan-burst",
+        title="Stateful firewall under a scan burst",
+        app_key="SFW",
+        topology="single",
+        description="Benign enterprise flows with returns, plus an inbound "
+        "scan/DDoS burst; the firewall must never admit an unsolicited flow.",
+        build=_build_sfw_scan_burst,
+    )
+)
+
+
+class DataPlaneBeatsRemote(Invariant):
+    """The Figure 17 claim at scenario scale: mean flow-installation latency
+    with data-plane integrated control beats the Mantis-style remote
+    controller on the same flow arrivals.  Observes install completions the
+    way the Figure 17 harness does; the controller baseline is replayed
+    through :meth:`RemoteController.install_stream` over the same flows."""
+
+    name = "dataplane-beats-remote"
+
+    def __init__(self, traffic: tm.FirewallFlowTraffic, seed: int = 0xC0FFEE):
+        self.traffic = traffic
+        self.seed = seed
+        self._installed: Dict[int, int] = {}
+        self._arrays = None
+        self.summary: Dict[str, float] = {}
+
+    def reset(self, network: Network, topology) -> None:
+        self._installed.clear()
+        switch = network.switch(0)
+        self._arrays = (
+            switch.array("keys1"),
+            switch.array("keys2"),
+            switch.array("stash"),
+        )
+
+    @staticmethod
+    def _flow_key(src: int, dst: int) -> int:
+        return lucid_hash(32, [src, dst, 10398247])
+
+    def _is_installed(self, key: int) -> bool:
+        keys1, keys2, stash = self._arrays
+        h1 = lucid_hash(10, [key, 10398247]) % keys1.size
+        h2 = lucid_hash(10, [key, 1295981879]) % keys2.size
+        return keys1.cells[h1] == key or keys2.cells[h2] == key or stash.cells[0] == key
+
+    def on_handle(self, entry) -> None:
+        event = entry.event
+        if event.name == "pkt_out":
+            key = self._flow_key(event.args[0], event.args[1])
+        elif event.name == "install":
+            key = event.args[0]
+        else:
+            return
+        if key not in self._installed and self._is_installed(key):
+            self._installed[key] = entry.time_ns
+
+    def check(self, network: Network) -> List[str]:
+        flows = sorted(self.traffic.first_packet_ns.items(), key=lambda kv: kv[1])
+        if not flows:
+            return []
+        total_dp = 0
+        never_installed = 0
+        for (src, dst), first_ns in flows:
+            done = self._installed.get(self._flow_key(src, dst))
+            if done is None:
+                # a flow that never installed is charged the full remaining
+                # run — a broken install path must FAIL this invariant, not
+                # count as a free instant install
+                never_installed += 1
+                done = network.now_ns
+            total_dp += max(0, done - first_ns)
+        mean_dp = total_dp / len(flows)
+        controller = RemoteController(config=ControlPlaneConfig(), seed=self.seed)
+        remote = controller.install_stream(
+            (self._flow_key(src, dst), t) for (src, dst), t in flows
+        )
+        self.summary = {
+            "flows": len(flows),
+            "never_installed": never_installed,
+            "dataplane_mean_install_ns": round(mean_dp, 1),
+            "remote_mean_install_ns": round(remote.mean_latency_ns, 1),
+        }
+        if mean_dp >= remote.mean_latency_ns:
+            return [
+                f"data-plane mean install {mean_dp:.0f}ns is not below the "
+                f"remote controller's {remote.mean_latency_ns:.0f}ns "
+                f"over {len(flows)} flows"
+            ]
+        return []
+
+
+def _build_sfw_install_latency(events: int, seed: int) -> ScenarioSetup:
+    topology = topo.single_switch()
+    traffic = tm.FirewallFlowTraffic(
+        hosts=256, external_hosts=1024, with_returns=False, packets_per_flow=2
+    )
+    latency = DataPlaneBeatsRemote(traffic)
+    return ScenarioSetup(
+        topology=topology,
+        make_network=lambda fast_path: topology.build_network(
+            _app_source("SFW"), fast_path=fast_path, name="SFW"
+        ),
+        traffic=lambda: traffic.events(topology.edge, events, seed),
+        invariants=[latency],
+        settle_ns=1_000_000,
+        details=lambda network: dict(latency.summary),
+    )
+
+
+register(
+    Scenario(
+        name="sfw-install-latency",
+        title="Flow-install latency: data plane vs remote controller",
+        app_key="SFW",
+        topology="single",
+        description="Streams outbound flows through the firewall and compares "
+        "mean flow-installation latency against the Mantis-style remote "
+        "controller model (the Figure 17 comparison, driven by the scenario "
+        "engine).",
+        build=_build_sfw_install_latency,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# DNS reflection defense
+# ---------------------------------------------------------------------------
+def _build_dns_reflection(events: int, seed: int) -> ScenarioSetup:
+    topology = topo.single_switch()
+    traffic = tm.DnsReflectionTraffic(reflected_share=0.3)
+    return ScenarioSetup(
+        topology=topology,
+        make_network=lambda fast_path: topology.build_network(
+            _app_source("DNS"), fast_path=fast_path, name="DNS"
+        ),
+        traffic=lambda: traffic.events(topology.edge, events, seed),
+        invariants=[DnsVictimBlocked(victim=traffic.victim, traffic=traffic)],
+        settle_ns=500_000,
+    )
+
+
+register(
+    Scenario(
+        name="dns-reflection",
+        title="DNS reflection attack vs the closed-loop defense",
+        app_key="DNS",
+        topology="single",
+        description="Benign query/response pairs mixed with reflected "
+        "responses aimed at a victim; once the sketch crosses the threshold "
+        "the victim must be blocked, while a collision-free benign witness "
+        "must never be.",
+        build=_build_dns_reflection,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# NAT churn
+# ---------------------------------------------------------------------------
+def _build_nat_churn(events: int, seed: int) -> ScenarioSetup:
+    topology = topo.single_switch()
+    traffic = tm.NatChurnTraffic()
+    return ScenarioSetup(
+        topology=topology,
+        make_network=lambda fast_path: topology.build_network(
+            _app_source("NAT"), fast_path=fast_path, name="NAT"
+        ),
+        traffic=lambda: traffic.events(topology.edge, events, seed),
+        invariants=_app_invariants("NAT"),
+        settle_ns=200_000,
+    )
+
+
+register(
+    Scenario(
+        name="nat-churn",
+        title="NAT under flow churn",
+        app_key="NAT",
+        topology="single",
+        description="A rotating population of internal flows plus inbound "
+        "probes keeps the translation table churning; mappings must stay "
+        "bijective (one flow per slot, one external port per flow).",
+        build=_build_nat_churn,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# RIP convergence on a line
+# ---------------------------------------------------------------------------
+def _build_rip_line(events: int, seed: int) -> ScenarioSetup:
+    topology = topo.line(5)
+    n = topology.num_switches
+
+    def prepare(network: Network) -> None:
+        for sid in range(n):
+            network.switch(sid).array("dist").cells[0] = 0 if sid == 0 else INFINITY
+
+    def traffic() -> Iterator[SourceItem]:
+        # kick off every switch's advertisement loop, then sprinkle data
+        # packets across the convergence window
+        for sid in range(n):
+            yield (0, sid, EventInstance("periodic_advertise", ()))
+        rng = random.Random(seed)
+        now = 0.0
+        for i in range(events):
+            now += rng.expovariate(1.0 / 2_000)
+            yield (int(now), i % n, EventInstance("data_pkt", (0,)))
+
+    return ScenarioSetup(
+        topology=topology,
+        make_network=lambda fast_path: topology.build_network(
+            _app_source("RIP"), fast_path=fast_path, name="RIP"
+        ),
+        traffic=traffic,
+        prepare=prepare,
+        invariants=_app_invariants("RIP"),
+        # the advertisement period is 1 ms; leave room for diameter+1 rounds
+        settle_ns=8_000_000,
+    )
+
+
+register(
+    Scenario(
+        name="rip-line-convergence",
+        title="RIP convergence on a 5-switch line",
+        app_key="RIP",
+        topology="line-5",
+        description="All switches start with infinite distance except the "
+        "destination; periodic advertisements must converge every switch to "
+        "its true hop count with a next hop one hop closer.",
+        build=_build_rip_line,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# fast rerouter: link failure on a leaf-spine
+# ---------------------------------------------------------------------------
+def _build_reroute_linkfail(events: int, seed: int) -> ScenarioSetup:
+    topology = topo.leaf_spine(4, 2)
+    leaves = topology.edge
+    ports = topology.shortest_path_ports()
+
+    def prepare(network: Network) -> None:
+        for sid in range(topology.num_switches):
+            switch = network.switch(sid)
+            hops = topology.hop_distances_from(sid)
+            nexthops = switch.array("nexthops")
+            pathlens = switch.array("pathlens")
+            for dst in range(topology.num_switches):
+                if dst == sid:
+                    continue
+                nexthops.cells[dst] = ports[(sid, dst)]
+                pathlens.cells[dst] = hops[dst]
+            linkstat = switch.array("linkstat")
+            for peer in topology.neighbors(sid):
+                linkstat.cells[peer] = 3
+
+    mean_gap_ns = 2_000
+    fail_at = int(events * mean_gap_ns / 3)
+    failed_leaf, dead_spine = 0, 4  # leaf 0's lowest-id uplink
+    (recovers,) = _app_invariants("RR")  # RerouteRecovers, tolerance 50 us
+
+    def on_fail(network: Network, failure: LinkFailure) -> None:
+        # the hardware port-down signal: mark the uplink dead and invalidate
+        # the routes that used it, which is what re-triggers route queries
+        switch = network.switch(failed_leaf)
+        switch.array("linkstat").cells[dead_spine] = 0
+        nexthops = switch.array("nexthops")
+        pathlens = switch.array("pathlens")
+        for dst in range(topology.num_switches):
+            if nexthops.cells[dst] == dead_spine:
+                pathlens.cells[dst] = INFINITY
+        recovers.announce_failure(network.now_ns, failed_leaf, dead_spine)
+
+    def data_packets() -> Iterator[SourceItem]:
+        rng = random.Random(seed)
+        now = 0.0
+        for i in range(events):
+            now += rng.expovariate(1.0 / mean_gap_ns)
+            leaf = leaves[i % len(leaves)]
+            others = [l for l in leaves if l != leaf]
+            dst = others[rng.randrange(len(others))]
+            yield (int(now), leaf, EventInstance("data_pkt", (dst,)))
+
+    schedule = [
+        LinkFailure(link=(failed_leaf, dead_spine), fail_at_ns=fail_at, recover_at_ns=None)
+    ]
+
+    def traffic() -> Iterator[SourceItem]:
+        return tm.merge(
+            data_packets(), tm.link_failure_actions(schedule, on_fail=on_fail)
+        )
+
+    return ScenarioSetup(
+        topology=topology,
+        make_network=lambda fast_path: topology.build_network(
+            _app_source("RR"), fast_path=fast_path, name="RR"
+        ),
+        traffic=traffic,
+        prepare=prepare,
+        invariants=[recovers],
+        settle_ns=1_000_000,
+    )
+
+
+register(
+    Scenario(
+        name="reroute-leafspine-linkfail",
+        title="Fast rerouter around a failed leaf-spine uplink",
+        app_key="RR",
+        topology="leafspine-4x2",
+        description="Leaf-to-leaf traffic on a 4x2 leaf-spine; one uplink "
+        "fails mid-run.  The rerouter must stop using the dead uplink within "
+        "the tolerance and keep forwarding via the surviving spine.",
+        build=_build_reroute_linkfail,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# SRO: sequenced replicated writes on a leaf-spine
+# ---------------------------------------------------------------------------
+def _build_sro_writes(events: int, seed: int) -> ScenarioSetup:
+    topology = topo.leaf_spine(4, 2)
+    n = topology.num_switches
+    replicas = list(range(n))
+
+    def traffic() -> Iterator[SourceItem]:
+        rng = random.Random(seed)
+        now = 0.0
+        for i in range(events):
+            now += rng.expovariate(1.0 / 5_000)
+            if rng.random() < 0.75:
+                key = rng.randrange(256)
+                value = 1 + rng.randrange(1 << 16)
+                # all writes enter through the sequencer (switch 0)
+                yield (int(now), 0, EventInstance("write_req", (key, value)))
+            else:
+                key = rng.randrange(256)
+                client = rng.randrange(n)
+                yield (int(now), rng.randrange(n), EventInstance("read_req", (key, client)))
+
+    return ScenarioSetup(
+        topology=topology,
+        make_network=lambda fast_path: topology.build_network(
+            _app_source("SRO"),
+            fast_path=fast_path,
+            groups=lambda sid: {"REPLICAS": replicas},
+            name="SRO",
+        ),
+        traffic=traffic,
+        invariants=_app_invariants("SRO"),
+        settle_ns=500_000,
+    )
+
+
+register(
+    Scenario(
+        name="sro-replicated-writes",
+        title="Strongly consistent replicated arrays on a leaf-spine",
+        app_key="SRO",
+        topology="leafspine-4x2",
+        description="Writes are sequenced at switch 0 and fanned out to all "
+        "six replicas, with reads served locally; at quiescence every replica "
+        "must hold identical values and no sequence number above what the "
+        "sequencer issued.",
+        build=_build_sro_writes,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# DFW: asymmetric returns on a border ring
+# ---------------------------------------------------------------------------
+def _build_dfw_ring(events: int, seed: int) -> ScenarioSetup:
+    topology = topo.ring(4)
+    n = topology.num_switches
+    traffic = tm.FirewallFlowTraffic(
+        hosts=256,
+        external_hosts=1024,
+        flow_rate_per_s=20_000.0,
+        roam_returns=True,
+    )
+    return ScenarioSetup(
+        topology=topology,
+        make_network=lambda fast_path: topology.build_network(
+            _app_source("DFW"),
+            fast_path=fast_path,
+            groups=lambda sid: {"PEERS": [s for s in range(n) if s != sid]},
+            name="DFW",
+        ),
+        traffic=lambda: traffic.events(topology.edge, events, seed),
+        invariants=_app_invariants("DFW") + [FirewallSolicitedOnly(), NoDrops()],
+        settle_ns=500_000,
+    )
+
+
+register(
+    Scenario(
+        name="dfw-ring-roaming",
+        title="Distributed firewall with asymmetric returns",
+        app_key="DFW",
+        topology="ring-4",
+        description="Flows leave through one border switch and return through "
+        "another; Bloom-filter sync must admit every return (no drops), the "
+        "filters must converge to identical state, and nothing unsolicited "
+        "may pass.",
+        build=_build_dfw_ring,
+    )
+)

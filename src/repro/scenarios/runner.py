@@ -1,0 +1,204 @@
+"""The scenario runner: wire an application + topology + streaming traffic +
+invariants, run it on either engine, and report verdicts and per-switch stats.
+
+The runner never materialises traffic: the scenario's traffic factory yields
+a lazy, time-ordered stream that is merged with the simulator's internal
+event heap (:meth:`Network.run` with ``source=``).  After the stream is
+exhausted the network is drained for ``settle_ns`` more simulated time so
+in-flight control events (cuckoo installs, sync updates, advertisement
+rounds) complete before invariants are checked — self-perpetuating control
+loops are bounded by the same horizon.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.interp.network import CONTROL, Network, SourceItem
+from repro.scenarios.invariants import Invariant, InvariantReport, evaluate
+from repro.scenarios.topology import Topology
+
+
+@dataclass
+class ScenarioSetup:
+    """Everything needed to run one scenario once: built fresh per run so
+    stateful traffic models and invariants never leak between engines."""
+
+    topology: Topology
+    make_network: Callable[[bool], Network]
+    #: zero-arg factory returning the streaming traffic source
+    traffic: Callable[[], Iterable[SourceItem]]
+    invariants: List[Invariant] = field(default_factory=list)
+    #: preload state (routing tables, link status) before traffic starts
+    prepare: Optional[Callable[[Network], None]] = None
+    #: extra simulated time after the last traffic event before verdicts
+    settle_ns: int = 2_000_000
+    #: extra result details computed from the finished network
+    details: Optional[Callable[[Network], Dict[str, object]]] = None
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run on one engine."""
+
+    scenario: str
+    engine: str
+    seed: int
+    events_injected: int
+    events_handled: int
+    sim_ns: int
+    wall_s: float
+    events_per_sec: float
+    invariants: List[InvariantReport]
+    #: per-switch summary counters
+    switch_stats: Dict[int, Dict[str, int]]
+    #: CRC32 digest of every switch's final array state
+    array_digest: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.invariants)
+
+    def verdict_signature(self) -> Tuple:
+        """What must be identical across engines: every invariant verdict
+        plus the final array states."""
+        return (
+            tuple((r.name, r.ok, r.violations) for r in self.invariants),
+            self.array_digest,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "seed": self.seed,
+            "events_injected": self.events_injected,
+            "events_handled": self.events_handled,
+            "sim_ns": self.sim_ns,
+            "wall_s": round(self.wall_s, 4),
+            "events_per_sec": round(self.events_per_sec),
+            "ok": self.ok,
+            "invariants": [
+                {
+                    "name": r.name,
+                    "ok": r.ok,
+                    "violations": r.violations,
+                    "messages": r.messages,
+                }
+                for r in self.invariants
+            ],
+            "array_digest": self.array_digest,
+            "details": self.details,
+        }
+
+
+class _SourceTracker:
+    """Wraps a streaming source: counts injected events and remembers the
+    last timestamp, without buffering anything."""
+
+    def __init__(self, items: Iterable[SourceItem]):
+        self._items = iter(items)
+        self.injected = 0
+        self.last_ns = 0
+
+    def __iter__(self) -> Iterator[SourceItem]:
+        for item in self._items:
+            if item[1] != CONTROL:
+                self.injected += 1
+            if item[0] > self.last_ns:
+                self.last_ns = item[0]
+            yield item
+
+
+def network_array_digest(network: Network) -> str:
+    """CRC32 over every switch's final array cells, switch/array-name
+    ordered — a compact equality signature for engine-parity checks."""
+    crc = 0
+    for sid in sorted(network.switches):
+        switch = network.switches[sid]
+        for name in sorted(switch.runtime.arrays):
+            cells = switch.runtime.arrays[name].cells
+            crc = zlib.crc32(name.encode(), crc)
+            crc = zlib.crc32(struct.pack(f"<ii{len(cells)}I", sid, len(cells), *cells), crc)
+    return f"{crc:08x}"
+
+
+def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
+              fast_path: bool = True) -> ScenarioResult:
+    """Execute one prepared scenario on one engine."""
+    network = setup.make_network(fast_path)
+    if setup.prepare is not None:
+        setup.prepare(network)
+    for inv in setup.invariants:
+        inv.reset(network, setup.topology)
+    observers = [inv for inv in setup.invariants if inv.observes()]
+    network.trace_enabled = False
+    if observers:
+        if len(observers) == 1:
+            network.on_handle = observers[0].on_handle
+        else:
+            def on_handle(entry, _observers=tuple(observers)):
+                for obs in _observers:
+                    obs.on_handle(entry)
+            network.on_handle = on_handle
+    tracker = _SourceTracker(setup.traffic())
+    start = time.perf_counter()
+    handled = network.run(source=tracker)
+    horizon = max(tracker.last_ns, network.now_ns) + setup.settle_ns
+    handled += network.run(until_ns=horizon)
+    wall = time.perf_counter() - start
+    reports = evaluate(setup.invariants, network)
+    stats = {
+        sid: {
+            "events_handled": sw.stats.events_handled,
+            "events_generated": sw.stats.events_generated,
+            "recirculations": sw.stats.recirculations,
+            "remote_sends": sw.stats.remote_sends,
+            "drops": sw.stats.drops,
+            "link_drops": sw.stats.link_drops,
+        }
+        for sid, sw in network.switches.items()
+    }
+    details = setup.details(network) if setup.details is not None else {}
+    return ScenarioResult(
+        scenario=scenario_name,
+        engine="compiled" if fast_path else "reference",
+        seed=seed,
+        events_injected=tracker.injected,
+        events_handled=handled,
+        sim_ns=network.now_ns,
+        wall_s=wall,
+        events_per_sec=handled / wall if wall > 0 else 0.0,
+        invariants=reports,
+        switch_stats=stats,
+        array_digest=network_array_digest(network),
+        details=details,
+    )
+
+
+def run_scenario(scenario, events: int, seed: int,
+                 fast_path: bool = True) -> ScenarioResult:
+    """Build and run a registered scenario once (see
+    :mod:`repro.scenarios.registry` for the catalogue)."""
+    setup = scenario.build(events, seed)
+    return run_setup(setup, scenario.name, seed, fast_path=fast_path)
+
+
+def run_scenario_both(scenario, events: int, seed: int) -> Tuple[ScenarioResult, ScenarioResult]:
+    """Run a scenario under the compiled fast path AND the tree-walking
+    reference engine; raises AssertionError if their invariant verdicts or
+    final array states differ (the differential conformance contract)."""
+    fast = run_scenario(scenario, events, seed, fast_path=True)
+    reference = run_scenario(scenario, events, seed, fast_path=False)
+    if fast.verdict_signature() != reference.verdict_signature():
+        raise AssertionError(
+            f"engines diverge on scenario '{scenario.name}': "
+            f"compiled={fast.verdict_signature()!r} "
+            f"reference={reference.verdict_signature()!r}"
+        )
+    return fast, reference

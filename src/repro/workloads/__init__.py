@@ -1,13 +1,26 @@
-"""Synthetic workload generators used by the examples and benchmarks."""
+"""Synthetic workload generators used by the examples and benchmarks.
 
-from repro.workloads.flows import Flow, FlowWorkload, poisson_flow_arrivals
-from repro.workloads.failures import LinkFailureSchedule
-from repro.workloads.dns import DnsTrafficMix
+Two families live here: the original materialising generators
+(:class:`FlowWorkload`, :class:`DnsTrafficMix`, :class:`LinkFailureSchedule`)
+and their streaming counterparts (:func:`iter_flows`, :func:`stream_dns_mix`,
+:func:`iter_random_failures`) which yield lazily in time order so
+arbitrarily long workloads never materialise a list.  The scenario engine
+(:mod:`repro.scenarios`) builds its traffic models on the streaming family.
+"""
+
+from repro.workloads.flows import Flow, FlowWorkload, iter_flows, poisson_flow_arrivals
+from repro.workloads.failures import LinkFailure, LinkFailureSchedule, iter_random_failures
+from repro.workloads.dns import DnsPacket, DnsTrafficMix, stream_dns_mix
 
 __all__ = [
     "Flow",
     "FlowWorkload",
+    "iter_flows",
     "poisson_flow_arrivals",
+    "LinkFailure",
     "LinkFailureSchedule",
+    "iter_random_failures",
+    "DnsPacket",
     "DnsTrafficMix",
+    "stream_dns_mix",
 ]

@@ -9,9 +9,10 @@ responses with no matching query.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -67,3 +68,71 @@ class DnsTrafficMix:
 
     def reflected(self) -> List[DnsPacket]:
         return [p for p in self.packets if p.reflected]
+
+
+def stream_dns_mix(
+    total_packets: int,
+    reflected_share: float = 0.3,
+    clients: int = 64,
+    servers: int = 16,
+    victim: int = 7,
+    mean_gap_ns: int = 20_000,
+    response_delay_ns: int = 50_000,
+    seed: int = 11,
+) -> Iterator[DnsPacket]:
+    """Stream a benign-query/reflected-response mix in time order, lazily.
+
+    Unlike :meth:`DnsTrafficMix.generate` (which materialises and sorts),
+    arrivals follow a Poisson process so the stream is ordered by
+    construction.  Pending responses (a query's answer arrives
+    ``response_delay_ns`` later) sit in a small heap bounded by the number of
+    queries in flight during one response delay — independent of
+    ``total_packets``.  Reflected responses target ``victim`` with no matching
+    query.  Deterministic for a fixed seed.
+    """
+    rng = random.Random(seed)
+    pending: List[Tuple[int, int, DnsPacket]] = []  # (time, tiebreak, response)
+    emitted = 0
+    tiebreak = 0
+    now = 0.0
+    while emitted < total_packets:
+        now += rng.expovariate(1.0 / mean_gap_ns)
+        arrival = int(now)
+        # release responses that come due before this arrival
+        while pending and pending[0][0] <= arrival and emitted < total_packets:
+            yield heapq.heappop(pending)[2]
+            emitted += 1
+        if emitted >= total_packets:
+            break
+        if rng.random() < reflected_share:
+            server = rng.randrange(servers)
+            yield DnsPacket(
+                time_ns=arrival, client=victim, server=server,
+                is_response=True, reflected=True,
+            )
+            emitted += 1
+        else:
+            client = rng.randrange(clients)
+            server = rng.randrange(servers)
+            yield DnsPacket(
+                time_ns=arrival, client=client, server=server, is_response=False
+            )
+            emitted += 1
+            tiebreak += 1
+            heapq.heappush(
+                pending,
+                (
+                    arrival + response_delay_ns,
+                    tiebreak,
+                    DnsPacket(
+                        time_ns=arrival + response_delay_ns,
+                        client=client,
+                        server=server,
+                        is_response=True,
+                    ),
+                ),
+            )
+    # drain whatever responses remain due, still in time order
+    while pending and emitted < total_packets:
+        yield heapq.heappop(pending)[2]
+        emitted += 1

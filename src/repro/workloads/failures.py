@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -51,3 +51,28 @@ class LinkFailureSchedule:
             )
         failures.sort(key=lambda f: f.fail_at_ns)
         return LinkFailureSchedule(failures=failures)
+
+
+def iter_random_failures(
+    links: List[Tuple[int, int]],
+    count: int,
+    mean_gap_ns: int = 2_000_000,
+    mean_downtime_ns: int = 5_000_000,
+    seed: int = 7,
+) -> Iterator[LinkFailure]:
+    """Stream ``count`` link failures lazily, sorted by construction.
+
+    Failure times follow a Poisson process (exponential inter-failure gaps)
+    rather than uniform draws over a fixed window, so the stream is emitted
+    in non-decreasing ``fail_at_ns`` order without materialising and sorting —
+    the streaming counterpart of :meth:`LinkFailureSchedule.random_failures`.
+    Deterministic for a fixed seed.
+    """
+    rng = random.Random(seed)
+    now = 0.0
+    for _ in range(count):
+        now += rng.expovariate(1.0 / mean_gap_ns)
+        link = rng.choice(links)
+        downtime = int(rng.expovariate(1.0 / mean_downtime_ns))
+        fail_at = int(now)
+        yield LinkFailure(link=link, fail_at_ns=fail_at, recover_at_ns=fail_at + downtime)

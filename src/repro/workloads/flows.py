@@ -69,35 +69,64 @@ class FlowWorkload:
 
         Each outbound flow is followed by its return flow one RTT later, which
         is what makes the firewall's flow-installation latency matter.
+        Materialises :func:`iter_flows`; use the generator directly for
+        streaming workloads that should not hold every flow in memory.
         """
-        rng = random.Random(seed)
-        flows: List[Flow] = []
-        now = 0.0
-        for flow_id in range(num_flows):
-            now += rng.expovariate(flow_rate_per_s) * 1e9
-            src = rng.randrange(hosts)
-            dst = hosts + rng.randrange(external_hosts)
-            flows.append(
-                Flow(
-                    flow_id=2 * flow_id,
-                    src=src,
-                    dst=dst,
-                    start_ns=int(now),
-                    packets=packets_per_flow,
-                    outbound=True,
+        return FlowWorkload(
+            flows=list(
+                iter_flows(
+                    num_flows,
+                    flow_rate_per_s=flow_rate_per_s,
+                    hosts=hosts,
+                    external_hosts=external_hosts,
+                    packets_per_flow=packets_per_flow,
+                    rtt_ns=rtt_ns,
+                    seed=seed,
                 )
             )
-            flows.append(
-                Flow(
-                    flow_id=2 * flow_id + 1,
-                    src=dst,
-                    dst=src,
-                    start_ns=int(now) + rtt_ns,
-                    packets=packets_per_flow,
-                    outbound=False,
-                )
-            )
-        return FlowWorkload(flows=flows)
+        )
+
+
+def iter_flows(
+    num_flows: int,
+    flow_rate_per_s: float = 10_000.0,
+    hosts: int = 256,
+    external_hosts: int = 1024,
+    packets_per_flow: int = 4,
+    rtt_ns: int = 200_000,
+    seed: int = 1,
+) -> Iterator[Flow]:
+    """Stream the flows of :meth:`FlowWorkload.generate` lazily, in the same
+    deterministic order (outbound flow, then its return flow one RTT later).
+
+    Outbound flows are emitted in non-decreasing ``start_ns`` order; the
+    paired return flow starts ``rtt_ns`` later and may therefore interleave
+    with subsequent outbound flows on the wire — callers that need a fully
+    time-ordered packet stream should merge on packet times (the scenario
+    traffic models do).
+    """
+    rng = random.Random(seed)
+    now = 0.0
+    for flow_id in range(num_flows):
+        now += rng.expovariate(flow_rate_per_s) * 1e9
+        src = rng.randrange(hosts)
+        dst = hosts + rng.randrange(external_hosts)
+        yield Flow(
+            flow_id=2 * flow_id,
+            src=src,
+            dst=dst,
+            start_ns=int(now),
+            packets=packets_per_flow,
+            outbound=True,
+        )
+        yield Flow(
+            flow_id=2 * flow_id + 1,
+            src=dst,
+            dst=src,
+            start_ns=int(now) + rtt_ns,
+            packets=packets_per_flow,
+            outbound=False,
+        )
 
 
 def poisson_flow_arrivals(

@@ -1,0 +1,171 @@
+"""Direct unit tests for the workload generators (repro.workloads).
+
+Until now these modules were only exercised indirectly through the benchmark
+harnesses; this suite pins their contracts directly: determinism under a
+fixed seed, flow key/reverse-key symmetry, packet timing, the DNS mix
+composition, link-failure schedules, and the equivalence of the streaming
+generators with their materialising counterparts.
+"""
+
+import itertools
+
+from repro.workloads import (
+    DnsTrafficMix,
+    Flow,
+    FlowWorkload,
+    LinkFailure,
+    LinkFailureSchedule,
+    iter_flows,
+    iter_random_failures,
+    poisson_flow_arrivals,
+    stream_dns_mix,
+)
+
+
+# ---------------------------------------------------------------------------
+# flows
+# ---------------------------------------------------------------------------
+class TestFlowWorkload:
+    def test_deterministic_under_fixed_seed(self):
+        a = FlowWorkload.generate(50, seed=42)
+        b = FlowWorkload.generate(50, seed=42)
+        assert a.flows == b.flows
+
+    def test_different_seeds_differ(self):
+        a = FlowWorkload.generate(50, seed=1)
+        b = FlowWorkload.generate(50, seed=2)
+        assert a.flows != b.flows
+
+    def test_iter_flows_streams_the_same_sequence(self):
+        materialised = FlowWorkload.generate(40, seed=7).flows
+        streamed = list(iter_flows(40, seed=7))
+        assert streamed == materialised
+
+    def test_iter_flows_is_lazy(self):
+        stream = iter_flows(10**9, seed=3)
+        first = list(itertools.islice(stream, 4))
+        assert len(first) == 4  # a materialising generator would never return
+
+    def test_key_reverse_key_symmetry(self):
+        flow = Flow(flow_id=0, src=11, dst=22, start_ns=0)
+        assert flow.key() == (11, 22)
+        assert flow.reverse_key() == (22, 11)
+        assert flow.key() == tuple(reversed(flow.reverse_key()))
+
+    def test_return_flow_reverses_outbound_key(self):
+        workload = FlowWorkload.generate(20, seed=5)
+        for outbound, inbound in zip(workload.flows[::2], workload.flows[1::2]):
+            assert outbound.outbound and not inbound.outbound
+            assert inbound.key() == outbound.reverse_key()
+            assert inbound.start_ns == outbound.start_ns + 200_000
+
+    def test_packet_times_spacing(self):
+        flow = Flow(flow_id=0, src=1, dst=2, start_ns=100, packets=3, inter_packet_ns=50)
+        assert flow.packet_times() == [100, 150, 200]
+
+    def test_outbound_arrivals_are_monotone(self):
+        workload = FlowWorkload.generate(30, seed=9)
+        outbound = [f.start_ns for f in workload.flows if f.outbound]
+        assert outbound == sorted(outbound)
+
+    def test_duration_covers_last_packet(self):
+        workload = FlowWorkload.generate(10, seed=1)
+        assert workload.duration_ns == max(
+            t for f in workload.flows for t in f.packet_times()
+        )
+
+    def test_poisson_arrivals_deterministic_and_monotone(self):
+        a = poisson_flow_arrivals(10_000.0, 0.01, seed=3)
+        b = poisson_flow_arrivals(10_000.0, 0.01, seed=3)
+        assert a == b
+        assert a == sorted(a)
+        assert all(t <= 0.01 * 1e9 for t in a)
+
+
+# ---------------------------------------------------------------------------
+# DNS
+# ---------------------------------------------------------------------------
+class TestDnsTraffic:
+    def test_generate_deterministic(self):
+        a = DnsTrafficMix.generate(seed=11)
+        b = DnsTrafficMix.generate(seed=11)
+        assert a.packets == b.packets
+
+    def test_generate_sorted_and_partitioned(self):
+        mix = DnsTrafficMix.generate(benign_queries=50, reflected_responses=25, seed=2)
+        times = [p.time_ns for p in mix.packets]
+        assert times == sorted(times)
+        assert len(mix.reflected()) == 25
+        # every benign query gets exactly one benign response
+        benign = mix.benign()
+        assert len([p for p in benign if not p.is_response]) == 50
+        assert len([p for p in benign if p.is_response]) == 50
+
+    def test_reflected_target_the_victim(self):
+        mix = DnsTrafficMix.generate(victim=9, seed=4)
+        assert all(p.client == 9 and p.is_response for p in mix.reflected())
+
+    def test_stream_is_deterministic_and_time_ordered(self):
+        a = list(stream_dns_mix(400, seed=13))
+        b = list(stream_dns_mix(400, seed=13))
+        assert a == b
+        times = [p.time_ns for p in a]
+        assert times == sorted(times)
+        assert len(a) == 400
+
+    def test_stream_mix_composition(self):
+        packets = list(stream_dns_mix(600, reflected_share=0.5, victim=3, seed=8))
+        reflected = [p for p in packets if p.reflected]
+        queries = [p for p in packets if not p.is_response]
+        assert reflected and queries
+        assert all(p.client == 3 for p in reflected)
+        # benign responses answer a previously seen query
+        seen = set()
+        for p in packets:
+            if not p.is_response:
+                seen.add((p.client, p.server))
+            elif not p.reflected:
+                assert (p.client, p.server) in seen
+
+
+# ---------------------------------------------------------------------------
+# link failures
+# ---------------------------------------------------------------------------
+class TestLinkFailures:
+    LINKS = [(0, 1), (1, 2), (2, 3)]
+
+    def test_random_failures_deterministic(self):
+        a = LinkFailureSchedule.random_failures(self.LINKS, 10, 1_000_000, seed=7)
+        b = LinkFailureSchedule.random_failures(self.LINKS, 10, 1_000_000, seed=7)
+        assert a.failures == b.failures
+
+    def test_random_failures_sorted_and_within_window(self):
+        schedule = LinkFailureSchedule.random_failures(self.LINKS, 20, 500_000, seed=3)
+        times = [f.fail_at_ns for f in schedule.failures]
+        assert times == sorted(times)
+        assert all(0 <= t < 500_000 for t in times)
+        assert all(f.link in self.LINKS for f in schedule.failures)
+
+    def test_failed_links_lifecycle(self):
+        schedule = LinkFailureSchedule(
+            failures=[LinkFailure(link=(0, 1), fail_at_ns=100, recover_at_ns=200)]
+        )
+        assert schedule.failed_links(50) == []
+        assert schedule.failed_links(100) == [(0, 1)]
+        assert schedule.failed_links(150) == [(0, 1)]
+        assert schedule.failed_links(200) == []
+
+    def test_iter_random_failures_streams_sorted(self):
+        a = list(iter_random_failures(self.LINKS, 15, seed=5))
+        b = list(iter_random_failures(self.LINKS, 15, seed=5))
+        assert a == b
+        assert len(a) == 15
+        times = [f.fail_at_ns for f in a]
+        assert times == sorted(times)
+        for failure in a:
+            assert failure.recover_at_ns >= failure.fail_at_ns
+            assert failure.link in self.LINKS
+
+    def test_iter_random_failures_is_lazy(self):
+        stream = iter_random_failures(self.LINKS, 10**9, seed=1)
+        assert len(list(itertools.islice(stream, 3))) == 3

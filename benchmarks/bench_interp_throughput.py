@@ -60,7 +60,7 @@ def measure(checked, fast_path: bool, events, repeat: int = 3):
     best = 0.0
     handled = 0
     for _ in range(repeat):
-        network = Network(fast_path=fast_path)
+        network = Network(engine="compiled" if fast_path else "reference")
         network.trace_enabled = False
         network.add_switch(0, checked)
         for event, at_ns in events:

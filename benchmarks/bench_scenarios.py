@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""Scenario throughput: events/sec per bundled scenario on both engines,
-with machine-readable output so the performance trajectory is recorded.
+"""Scenario throughput: events/sec per bundled scenario on every execution
+engine, with machine-readable output so the performance trajectory is
+recorded.
 
 Run standalone::
 
     python benchmarks/bench_scenarios.py                     # full sweep
     python benchmarks/bench_scenarios.py --smoke             # CI smoke
     python benchmarks/bench_scenarios.py --scenarios nat-churn,dns-reflection
+    python benchmarks/bench_scenarios.py --engines compiled,pisa
     python benchmarks/bench_scenarios.py --events 50000 --out BENCH_scenarios.json
 
-Each scenario is run under the compiled fast path and the tree-walking
-reference engine with identical traffic (same seed); the JSON report records
-events/sec, speedup, invariant verdicts, and the final array digest of both
-engines (which must match).  ``--smoke`` runs two scenarios with small
-counts and fails if any invariant is violated or the engines disagree —
-cheap enough for CI.
+Each scenario is run under every selected engine (default: the tree-walking
+reference interpreter, the compiled fast path, and the PISA pipeline
+executor) with identical traffic (same seed).  Two JSON reports are written:
+``BENCH_scenarios.json`` keeps the historical compiled-vs-reference schema,
+and ``BENCH_engines.json`` records events/sec per engine per scenario plus
+the PISA pipeline totals (stages occupied, recirculation passes, queue
+depths).  Any invariant violation or cross-engine verdict/digest mismatch
+fails the run.  ``--smoke`` runs two scenarios with small counts — cheap
+enough for CI.
 """
 
 from __future__ import annotations
@@ -24,47 +29,64 @@ import json
 import platform
 import sys
 
+from repro.interp.engine import ENGINE_NAMES
 from repro.scenarios import SCENARIOS, run_scenario
 
-#: scenarios whose invariants observe every event pay per-event callback
-#: overhead by design; everything else runs the batched trace-free drain
 DEFAULT_EVENTS = 20_000
 SMOKE_SCENARIOS = ("heavy-hitter-single", "heavy-hitter-fattree")
 SMOKE_EVENTS = 3_000
 
 
-def bench_one(name: str, events: int, seed: int) -> dict:
+def bench_one(name: str, events: int, seed: int, engines) -> dict:
     scenario = SCENARIOS[name]
-    fast = run_scenario(scenario, events, seed, fast_path=True)
-    reference = run_scenario(scenario, events, seed, fast_path=False)
-    return {
+    results = {eng: run_scenario(scenario, events, seed, engine=eng) for eng in engines}
+    signatures = {eng: r.verdict_signature() for eng, r in results.items()}
+    agree = len(set(signatures.values())) == 1
+    baseline = results[engines[0]]
+    row = {
         "scenario": name,
         "app": scenario.app_key,
         "topology": scenario.topology,
-        "events": fast.events_injected,
-        "events_handled": fast.events_handled,
-        "compiled_eps": round(fast.events_per_sec),
-        "reference_eps": round(reference.events_per_sec),
-        "speedup": (
-            round(fast.events_per_sec / reference.events_per_sec, 2)
-            if reference.events_per_sec
-            else 0.0
-        ),
-        "ok": fast.ok and reference.ok,
-        "engines_agree": fast.verdict_signature() == reference.verdict_signature(),
-        "array_digest": fast.array_digest,
+        "events": baseline.events_injected,
+        "events_handled": baseline.events_handled,
+        "eps": {eng: round(r.events_per_sec) for eng, r in results.items()},
+        "ok": all(r.ok for r in results.values()),
+        "engines_agree": agree,
+        "array_digest": baseline.array_digest,
     }
+    pisa = results.get("pisa")
+    if pisa is not None and pisa.pipeline_totals:
+        totals = pisa.pipeline_totals
+        row["pipeline"] = {
+            key: totals[key]
+            for key in (
+                "stages",
+                "recirculated_events",
+                "peak_queue_depth",
+                "recirc_passes",
+                "recirc_bytes",
+                "recirc_drops",
+            )
+            if key in totals
+        }
+    return row
 
 
-def print_rows(rows):
-    headers = [
-        "scenario", "app", "topology", "events",
-        "compiled_eps", "reference_eps", "speedup", "ok", "engines_agree",
-    ]
-    widths = {h: max(len(h), max(len(str(r[h])) for r in rows)) for h in headers}
+def print_rows(rows, engines):
+    headers = ["scenario", "app", "topology", "events"] + [
+        f"{eng}_eps" for eng in engines
+    ] + ["ok", "engines_agree"]
+
+    def cell(row, header):
+        for eng in engines:
+            if header == f"{eng}_eps":
+                return str(row["eps"][eng])
+        return str(row[header])
+
+    widths = {h: max(len(h), max(len(cell(r, h)) for r in rows)) for h in headers}
     print("  ".join(h.ljust(widths[h]) for h in headers))
     for row in rows:
-        print("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+        print("  ".join(cell(row, h).ljust(widths[h]) for h in headers))
 
 
 def main(argv=None) -> int:
@@ -74,8 +96,13 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
     parser.add_argument("--scenarios", type=str, default="",
                         help="comma-separated scenario names (default: all)")
+    parser.add_argument("--engines", type=str, default=",".join(ENGINE_NAMES),
+                        help="comma-separated engine names "
+                        f"(default: {','.join(ENGINE_NAMES)})")
     parser.add_argument("--out", type=str, default="BENCH_scenarios.json",
-                        help="JSON report path (default BENCH_scenarios.json)")
+                        help="legacy JSON report path (default BENCH_scenarios.json)")
+    parser.add_argument("--engines-out", type=str, default="BENCH_engines.json",
+                        help="per-engine JSON report path (default BENCH_engines.json)")
     parser.add_argument("--smoke", action="store_true",
                         help="quick CI mode: two scenarios, small event counts, "
                         "fails on any invariant violation or engine mismatch")
@@ -91,19 +118,58 @@ def main(argv=None) -> int:
     if unknown:
         print(f"unknown scenarios: {unknown}; known: {sorted(SCENARIOS)}")
         return 2
+    engines = [e for e in args.engines.split(",") if e]
+    bad_engines = [e for e in engines if e not in ENGINE_NAMES]
+    if bad_engines:
+        print(f"unknown engines: {bad_engines}; known: {list(ENGINE_NAMES)}")
+        return 2
 
-    rows = [bench_one(name, events, args.seed) for name in names]
-    print("=== scenario throughput: compiled fast path vs reference engine ===")
-    print_rows(rows)
+    rows = [bench_one(name, events, args.seed, engines) for name in names]
+    print(f"=== scenario throughput across engines: {', '.join(engines)} ===")
+    print_rows(rows, engines)
 
-    report = {
-        "benchmark": "scenarios",
-        "python": platform.python_version(),
-        "events_per_scenario": events,
-        "seed": args.seed,
-        "results": rows,
-    }
-    if args.out:
+    if args.engines_out:
+        report = {
+            "benchmark": "scenario-engines",
+            "python": platform.python_version(),
+            "events_per_scenario": events,
+            "seed": args.seed,
+            "engines": engines,
+            "results": rows,
+        }
+        with open(args.engines_out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.engines_out}")
+
+    if args.out and "compiled" in engines and "reference" in engines:
+        # historical schema: compiled vs reference, one row per scenario
+        legacy_rows = [
+            {
+                "scenario": r["scenario"],
+                "app": r["app"],
+                "topology": r["topology"],
+                "events": r["events"],
+                "events_handled": r["events_handled"],
+                "compiled_eps": r["eps"]["compiled"],
+                "reference_eps": r["eps"]["reference"],
+                "speedup": (
+                    round(r["eps"]["compiled"] / r["eps"]["reference"], 2)
+                    if r["eps"]["reference"]
+                    else 0.0
+                ),
+                "ok": r["ok"],
+                "engines_agree": r["engines_agree"],
+                "array_digest": r["array_digest"],
+            }
+            for r in rows
+        ]
+        report = {
+            "benchmark": "scenarios",
+            "python": platform.python_version(),
+            "events_per_scenario": events,
+            "seed": args.seed,
+            "results": legacy_rows,
+        }
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2)
         print(f"wrote {args.out}")
@@ -113,7 +179,10 @@ def main(argv=None) -> int:
         print(f"FAILED scenarios (invariant violation or engine mismatch): {bad}")
         return 1
     if args.smoke:
-        print(f"smoke ok: {len(rows)} scenarios, all invariants hold on both engines")
+        print(
+            f"smoke ok: {len(rows)} scenarios, all invariants hold and "
+            f"all {len(engines)} engines agree"
+        )
     return 0
 
 

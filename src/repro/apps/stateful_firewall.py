@@ -183,9 +183,10 @@ class FirewallExperiment:
 
     table_slots: int = 1024
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
-    #: run handlers through the compiled-closure fast path (several times
-    #: faster; behaviourally identical to the tree-walking interpreter)
-    fast_path: bool = True
+    #: execution engine name ("reference", "compiled", or "pisa"); the
+    #: compiled-closure engine is several times faster than the reference
+    #: interpreter and behaviourally identical
+    engine: str = "compiled"
 
     def _flow_key(self, src: int, dst: int) -> int:
         return lucid_hash(32, [src, dst, 10398247])
@@ -196,7 +197,7 @@ class FirewallExperiment:
             SOURCE, name="SFW", symbolic_bindings={"TBL_SLOTS": self.table_slots}
         )
         network, switch = single_switch_network(
-            checked, config=self.scheduler, fast_path=self.fast_path
+            checked, config=self.scheduler, engine=self.engine
         )
         first_packet: Dict[int, int] = {}
         installed: Dict[int, int] = {}

@@ -4,6 +4,7 @@ generation for the Intel Tofino."""
 from repro.backend.compiler import (
     CompiledProgram,
     CompilerOptions,
+    compile_checked,
     compile_program,
     count_lucid_loc,
 )
@@ -15,6 +16,7 @@ from repro.backend.tables import AtomicTable, TableGraph, TableKind, build_table
 
 __all__ = [
     "compile_program",
+    "compile_checked",
     "CompilerOptions",
     "CompiledProgram",
     "count_lucid_loc",

@@ -118,14 +118,19 @@ def count_lucid_loc(source: str) -> int:
     return count
 
 
-def compile_program(
-    source: str,
-    name: str = "<program>",
+def compile_checked(
+    checked: CheckedProgram,
     options: Optional[CompilerOptions] = None,
+    source: Optional[str] = None,
 ) -> CompiledProgram:
-    """Compile a Lucid program from source text to a pipeline layout and P4."""
+    """Compile an already-checked program to a pipeline layout (and P4).
+
+    This is the backend half of :func:`compile_program`, split out so
+    execution engines (notably :class:`~repro.interp.engine.PisaEngine`) can
+    lower a :class:`CheckedProgram` that was checked with per-switch group
+    bindings or symbolic bindings — re-checking from source would lose them.
+    """
     options = options or CompilerOptions()
-    checked = check_program(source, name=name, symbolic_bindings=options.symbolic_bindings)
     normalized = normalize_program(checked.info)
     layout = build_layout(
         checked.info, normalized, model=options.target, options=options.merge_options()
@@ -147,3 +152,14 @@ def compile_program(
         )
         compiled.naive_p4 = generate_p4(checked.info, naive_layout, style="naive")
     return compiled
+
+
+def compile_program(
+    source: str,
+    name: str = "<program>",
+    options: Optional[CompilerOptions] = None,
+) -> CompiledProgram:
+    """Compile a Lucid program from source text to a pipeline layout and P4."""
+    options = options or CompilerOptions()
+    checked = check_program(source, name=name, symbolic_bindings=options.symbolic_bindings)
+    return compile_checked(checked, options=options, source=source)

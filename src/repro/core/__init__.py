@@ -34,6 +34,7 @@ from repro.backend import (
     P4Program,
     PipelineLayout,
     TofinoModel,
+    compile_checked,
     compile_program,
     count_lucid_loc,
     generate_p4,
@@ -50,20 +51,36 @@ from repro.errors import (
 )
 from repro.frontend import CheckedProgram, check_program, parse_program
 from repro.interp import (
+    ENGINE_NAMES,
+    ENGINES,
+    CompiledEngine,
     CompiledSwitchRuntime,
     EventInstance,
     HandlerCompiler,
     HandlerInterpreter,
     Network,
+    PisaEngine,
+    ReferenceEngine,
     RuntimeArray,
     SchedulerConfig,
     Switch,
+    SwitchEngine,
     SwitchRuntime,
     lucid_hash,
+    make_engine,
+    register_engine,
+    resolve_engine_name,
     single_switch_network,
 )
 from repro.pisa import PisaPipeline, simulate_concurrent_delays
-from repro.scenarios import SCENARIOS, Scenario, run_scenario, run_scenario_both
+from repro.scenarios import (
+    SCENARIOS,
+    Scenario,
+    run_scenario,
+    run_scenario_all_engines,
+    run_scenario_both,
+    run_scenario_engines,
+)
 from repro.workloads import DnsTrafficMix, FlowWorkload, LinkFailureSchedule
 
 __all__ = [
@@ -73,6 +90,7 @@ __all__ = [
     "CheckedProgram",
     # compiler
     "compile_program",
+    "compile_checked",
     "CompilerOptions",
     "CompiledProgram",
     "MergeOptions",
@@ -88,6 +106,16 @@ __all__ = [
     "HandlerInterpreter",
     "CompiledSwitchRuntime",
     "HandlerCompiler",
+    # execution engines
+    "SwitchEngine",
+    "ReferenceEngine",
+    "CompiledEngine",
+    "PisaEngine",
+    "ENGINES",
+    "ENGINE_NAMES",
+    "make_engine",
+    "register_engine",
+    "resolve_engine_name",
     "EventInstance",
     "RuntimeArray",
     "SchedulerConfig",
@@ -108,6 +136,8 @@ __all__ = [
     "SCENARIOS",
     "Scenario",
     "run_scenario",
+    "run_scenario_engines",
+    "run_scenario_all_engines",
     "run_scenario_both",
     # errors
     "LucidError",

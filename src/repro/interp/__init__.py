@@ -3,6 +3,17 @@ simulated switch or network of switches."""
 
 from repro.interp.arrays import RuntimeArray
 from repro.interp.compiled import CompiledSwitchRuntime, HandlerCompiler
+from repro.interp.engine import (
+    ENGINE_NAMES,
+    ENGINES,
+    CompiledEngine,
+    PisaEngine,
+    ReferenceEngine,
+    SwitchEngine,
+    make_engine,
+    register_engine,
+    resolve_engine_name,
+)
 from repro.interp.events import LOCAL, EventInstance
 from repro.interp.interpreter import (
     ExecutionResult,
@@ -25,6 +36,15 @@ __all__ = [
     "EventInstance",
     "LOCAL",
     "CONTROL",
+    "SwitchEngine",
+    "ReferenceEngine",
+    "CompiledEngine",
+    "PisaEngine",
+    "ENGINES",
+    "ENGINE_NAMES",
+    "make_engine",
+    "register_engine",
+    "resolve_engine_name",
     "HandlerInterpreter",
     "CompiledSwitchRuntime",
     "HandlerCompiler",

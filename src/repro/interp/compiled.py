@@ -46,6 +46,7 @@ from repro.interp.interpreter import (
     HandlerInterpreter,
     SwitchRuntime,
 )
+from repro.ops import div32 as _div, mod32 as _mod
 
 _MASK = 0xFFFFFFFF
 
@@ -64,16 +65,8 @@ ExprFn = Callable[[List[object], ExecutionResult], object]
 
 # ---------------------------------------------------------------------------
 # binary operators, one closure constructor per op (semantics identical to
-# interpreter._apply_binop, with the tree walker's short-circuit for && / ||)
+# repro.ops.apply_binop, with the tree walker's short-circuit for && / ||)
 # ---------------------------------------------------------------------------
-def _div(a: int, b: int) -> int:
-    return a // b if b else 0
-
-
-def _mod(a: int, b: int) -> int:
-    return a % b if b else 0
-
-
 def _make_binop_table():
     B = ast.BinOp
     return {

@@ -1,0 +1,321 @@
+"""Pluggable switch execution engines.
+
+A :class:`~repro.interp.network.Switch` executes events through a
+*switch engine* — the substrate that runs one handler invocation and
+returns what it produced.  Three engines ship with the repository:
+
+``reference``
+    The tree-walking :class:`~repro.interp.interpreter.HandlerInterpreter`.
+    Slow, obviously-correct AST interpretation; the semantic baseline.
+
+``compiled``
+    The closure-compiling fast path
+    (:class:`~repro.interp.compiled.CompiledSwitchRuntime`), behaviourally
+    identical to the reference engine and several times faster.  The
+    default.
+
+``pisa``
+    The hardware-accurate model: the program is lowered **once** through
+    the full compiler backend (:func:`repro.backend.compiler.compile_checked`
+    — normalisation, branch elimination, table merging, stage layout) and
+    every event then executes through the resulting
+    :class:`~repro.backend.layout.PipelineLayout` stage by stage via
+    :class:`~repro.pisa.pipeline.PisaPipeline`, over the *same*
+    :class:`~repro.interp.interpreter.SwitchRuntime` (register file, clock,
+    PRNG, externs) the network simulation owns.  On top of executing, it
+    charges the PISA substrate costs: recirculation-port bandwidth per
+    locally generated event and pausable-delay-queue passes for delayed
+    events (:mod:`repro.pisa.queues` semantics), with a bounded
+    recirculation queue whose overflow surfaces as the scheduler's
+    ``recirc_drops`` counter.
+
+All three produce :class:`~repro.interp.interpreter.ExecutionResult`
+values, so the network scheduler is engine-agnostic: generated events —
+including delayed and multicast ones — round-trip through the same
+scheduler heap regardless of the substrate that produced them.  Identical
+invariant verdicts and final array digests across engines are pinned by
+the scenario parity suite (``tests/test_engines.py`` and
+``python -m repro.scenarios run NAME --all-engines``).
+
+Engines are registered by name in :data:`ENGINES`; ``register_engine``
+admits project-specific substrates (e.g. a remote-switch RPC shim)
+without touching the scheduler.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict, Optional, Type
+
+from repro.errors import SimulationError
+from repro.interp.events import EventInstance
+from repro.interp.interpreter import ExecutionResult, HandlerInterpreter, SwitchRuntime
+
+
+class SwitchEngine:
+    """One execution substrate for one switch.
+
+    Subclasses implement :meth:`run`.  The scheduler hooks
+    (:meth:`admit_recirculation`, :meth:`on_recirculate`,
+    :meth:`on_recirc_arrival`) are optional accounting callbacks invoked by
+    :class:`~repro.interp.network.Network` around locally recirculated
+    events; the interpreter engines leave them as no-ops.
+    """
+
+    #: registry name; subclasses must override
+    name = "abstract"
+
+    def __init__(self, runtime: SwitchRuntime, config: Optional[object] = None):
+        self.runtime = runtime
+        self.config = config
+        #: the underlying executor object (``Switch.interpreter`` aliases it);
+        #: engines wrapping a distinct executor overwrite this
+        self.executor = self
+
+    # -- execution ---------------------------------------------------------
+    def run(self, event: EventInstance) -> ExecutionResult:
+        raise NotImplementedError
+
+    # -- scheduler hooks ---------------------------------------------------
+    def admit_recirculation(self, event: EventInstance) -> bool:
+        """Whether a locally generated event fits in the recirculation path.
+
+        Returning ``False`` drops the event (counted as ``recirc_drops`` by
+        the scheduler) — only capacity-modelling engines ever refuse."""
+        return True
+
+    def on_recirculate(self, event: EventInstance) -> None:
+        """A locally generated event was scheduled back into this switch."""
+
+    def on_recirc_arrival(self, event: EventInstance) -> None:
+        """A previously recirculated event is about to be handled."""
+
+    # -- lifecycle / reporting --------------------------------------------
+    def reset(self) -> None:
+        """Clear engine-side accounting (called by ``Network.reset()``)."""
+
+    def pipeline_stats(self, duration_ns: int = 0) -> Optional[Dict[str, object]]:
+        """Per-switch substrate statistics, or ``None`` when the engine does
+        not model a pipeline (the interpreter engines)."""
+        return None
+
+
+class ReferenceEngine(SwitchEngine):
+    """Tree-walking AST interpretation (the semantic baseline)."""
+
+    name = "reference"
+
+    def __init__(self, runtime: SwitchRuntime, config: Optional[object] = None):
+        super().__init__(runtime, config)
+        self.executor = HandlerInterpreter(runtime)
+        self.run = self.executor.run  # direct bind: zero indirection per event
+
+
+class CompiledEngine(SwitchEngine):
+    """Closure-compiled handlers (the fast path)."""
+
+    name = "compiled"
+
+    def __init__(self, runtime: SwitchRuntime, config: Optional[object] = None):
+        super().__init__(runtime, config)
+        # imported lazily to keep module import order flexible
+        from repro.interp.compiled import CompiledSwitchRuntime
+
+        self.executor = CompiledSwitchRuntime(runtime)
+        self.run = self.executor.run
+
+
+def _compiled_for(checked) -> "object":
+    """Lower ``checked`` through the backend once, caching the result on the
+    checked program itself — switches sharing one checked program (every
+    switch of a topology with identical group bindings) share one layout."""
+    compiled = getattr(checked, "_engine_compiled", None)
+    if compiled is None:
+        from repro.backend.compiler import CompilerOptions, compile_checked
+
+        compiled = compile_checked(checked, options=CompilerOptions(emit_p4=False))
+        try:
+            checked._engine_compiled = compiled
+        except AttributeError:  # pragma: no cover - exotic frozen subclasses
+            pass
+    return compiled
+
+
+class PisaEngine(SwitchEngine):
+    """Execute events through the compiled pipeline layout, with PISA
+    recirculation and pausable-delay-queue cost accounting.
+
+    ``recirc_queue_capacity`` bounds the number of in-flight locally
+    recirculating/parked events; beyond it, newly generated local events are
+    dropped and counted as ``recirc_drops`` (``None`` = unbounded, the
+    default, so engine parity with the interpreters is exact).
+    """
+
+    name = "pisa"
+
+    def __init__(
+        self,
+        runtime: SwitchRuntime,
+        config: Optional[object] = None,
+        recirc_queue_capacity: Optional[int] = None,
+    ):
+        super().__init__(runtime, config)
+        from repro.pisa.pipeline import PisaPipeline
+        from repro.pisa.recirculation import RecirculationPort
+
+        self.pipeline = PisaPipeline(_compiled_for(runtime.checked), runtime=runtime)
+        self.port = RecirculationPort()
+        self.recirc_queue_capacity = recirc_queue_capacity
+        # counters
+        self.events = 0
+        self.stages_traversed = 0
+        self.max_stages_traversed = 0
+        self.tables_executed = 0
+        self.recirculated_events = 0
+        self.queue_depth = 0
+        self.peak_queue_depth = 0
+
+    # -- execution ---------------------------------------------------------
+    def run(self, event: EventInstance) -> ExecutionResult:
+        passed = self.pipeline.process(event)
+        self.events += 1
+        self.stages_traversed += passed.stages_traversed
+        if passed.stages_traversed > self.max_stages_traversed:
+            self.max_stages_traversed = passed.stages_traversed
+        self.tables_executed += passed.tables_executed
+        return ExecutionResult(
+            generated=passed.generated,
+            prints=passed.prints,
+            dropped=passed.dropped,
+            forwarded_port=passed.forwarded_port,
+            flooded=passed.flooded,
+        )
+
+    # -- scheduler hooks ---------------------------------------------------
+    def _delay_passes(self, delay_ns: int) -> int:
+        """Recirculation passes one locally generated event costs.
+
+        With the pausable delay queue, a parked packet recirculates once per
+        release until its delay expires (``ceil(delay / release_interval)``
+        passes, the :class:`~repro.pisa.queues.PausableDelayQueue`
+        behaviour); without it, the packet loops continuously.  An undelayed
+        event makes the single pass every local generate pays."""
+        config = self.config
+        if delay_ns <= 0:
+            return 1
+        if config is not None and not getattr(config, "use_delay_queue", True):
+            latency = max(1, getattr(config, "recirculation_latency_ns", 600))
+            return 1 + delay_ns // latency
+        interval = max(1, getattr(config, "delay_release_interval_ns", 100_000))
+        return max(1, -(-delay_ns // interval))
+
+    def admit_recirculation(self, event: EventInstance) -> bool:
+        capacity = self.recirc_queue_capacity
+        return capacity is None or self.queue_depth < capacity
+
+    def on_recirculate(self, event: EventInstance) -> None:
+        self.queue_depth += 1
+        if self.queue_depth > self.peak_queue_depth:
+            self.peak_queue_depth = self.queue_depth
+        self.port.recirculate(event.payload_bytes(), passes=self._delay_passes(event.delay_ns))
+
+    def on_recirc_arrival(self, event: EventInstance) -> None:
+        self.recirculated_events += 1
+        if self.queue_depth > 0:
+            self.queue_depth -= 1
+
+    # -- lifecycle / reporting --------------------------------------------
+    def reset(self) -> None:
+        self.port.reset()
+        self.events = 0
+        self.stages_traversed = 0
+        self.max_stages_traversed = 0
+        self.tables_executed = 0
+        self.recirculated_events = 0
+        self.queue_depth = 0
+        self.peak_queue_depth = 0
+
+    def pipeline_stats(self, duration_ns: int = 0) -> Dict[str, object]:
+        stats: Dict[str, object] = {
+            "stages": self.pipeline.layout.num_stages(),
+            "events": self.events,
+            "stages_traversed": self.stages_traversed,
+            "max_stages_traversed": self.max_stages_traversed,
+            "tables_executed": self.tables_executed,
+            "recirculated_events": self.recirculated_events,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "recirc_passes": self.port.packets,
+            "recirc_bytes": self.port.bytes,
+        }
+        if duration_ns > 0:
+            stats["recirc_bandwidth_bps"] = round(self.port.bandwidth_bps(duration_ns), 1)
+            stats["recirc_utilisation"] = round(self.port.utilisation(duration_ns), 6)
+        return stats
+
+
+#: engine registry: name -> constructor ``(runtime, config=...) -> SwitchEngine``
+ENGINES: Dict[str, Type[SwitchEngine]] = {
+    ReferenceEngine.name: ReferenceEngine,
+    CompiledEngine.name: CompiledEngine,
+    PisaEngine.name: PisaEngine,
+}
+
+#: the bundled engine names, in semantic-baseline-first order
+ENGINE_NAMES = ("reference", "compiled", "pisa")
+
+
+def register_engine(cls: Type[SwitchEngine]) -> Type[SwitchEngine]:
+    """Register a custom engine class under ``cls.name`` (decorator-friendly)."""
+    if not getattr(cls, "name", None) or cls.name == "abstract":
+        raise SimulationError("engine classes must define a non-default 'name'")
+    ENGINES[cls.name] = cls
+    return cls
+
+
+def resolve_engine_name(
+    engine: Optional[str] = None,
+    fast_path: Optional[bool] = None,
+    default: str = "compiled",
+) -> str:
+    """Resolve the ``engine=`` / deprecated ``fast_path=`` parameter pair.
+
+    ``engine`` wins when both are given (and they must agree); ``fast_path``
+    is kept as a compatibility alias: ``True`` → ``"compiled"``, ``False`` →
+    ``"reference"``.  Passing ``fast_path`` emits a :class:`DeprecationWarning`.
+    """
+    if fast_path is not None:
+        warnings.warn(
+            "fast_path= is deprecated; use engine='compiled' / engine='reference'",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if engine is not None:
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine '{engine}'; known engines: {sorted(ENGINES)}"
+            )
+        if fast_path is not None:
+            alias = "compiled" if fast_path else "reference"
+            if alias != engine:
+                raise SimulationError(
+                    f"conflicting engine selection: engine='{engine}' but "
+                    f"fast_path={fast_path} (the deprecated alias for '{alias}')"
+                )
+        return engine
+    if fast_path is not None:
+        return "compiled" if fast_path else "reference"
+    return default
+
+
+def make_engine(
+    name: str, runtime: SwitchRuntime, config: Optional[object] = None
+) -> SwitchEngine:
+    """Instantiate the engine registered under ``name``."""
+    try:
+        cls = ENGINES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine '{name}'; known engines: {sorted(ENGINES)}"
+        ) from None
+    return cls(runtime, config=config)

@@ -10,8 +10,6 @@ events the handler generated.
 
 from __future__ import annotations
 
-import struct
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -21,26 +19,19 @@ from repro.frontend.symbols import ARRAY_METHODS, EVENT_COMBINATORS, ProgramInfo
 from repro.frontend.type_checker import CheckedProgram
 from repro.interp.arrays import RuntimeArray
 from repro.interp.events import LOCAL, EventInstance
+from repro.ops import apply_binop, lucid_hash, mask32
 
+# canonical ALU semantics live in repro.ops; these aliases keep the historic
+# import sites (tests, the pipeline executor of older checkouts) working
+_mask32 = mask32
+_apply_binop = apply_binop
 
-def _mask32(value: int) -> int:
-    return value & 0xFFFFFFFF
-
-
-def lucid_hash(width: int, args: Sequence[int], seed: int = 0) -> int:
-    """The deterministic hash used for ``hash<<w>>(...)`` — a CRC32 over the
-    argument words, truncated to ``w`` bits (the Tofino's hash units compute
-    CRC-family hashes)."""
-    value = zlib.crc32(
-        struct.pack(
-            "<%dI" % (len(args) + 1),
-            seed & 0xFFFFFFFF,
-            *[int(arg) & 0xFFFFFFFF for arg in args],
-        )
-    )
-    if width >= 32:
-        return value
-    return value & ((1 << width) - 1)
+__all__ = [
+    "ExecutionResult",
+    "HandlerInterpreter",
+    "SwitchRuntime",
+    "lucid_hash",
+]
 
 
 class _ReturnValue(Exception):
@@ -214,46 +205,6 @@ def _compile_memop_expr(
         op = expr.op
         return lambda stored, local: _apply_binop(op, left(stored, local), right(stored, local))
     raise InterpError(f"expression is not allowed in memop '{memop_name}'")
-
-
-def _apply_binop(op: ast.BinOp, left: int, right: int) -> int:
-    if op is ast.BinOp.ADD:
-        return _mask32(left + right)
-    if op is ast.BinOp.SUB:
-        return _mask32(left - right)
-    if op is ast.BinOp.MUL:
-        return _mask32(left * right)
-    if op is ast.BinOp.DIV:
-        return left // right if right else 0
-    if op is ast.BinOp.MOD:
-        return left % right if right else 0
-    if op is ast.BinOp.BITAND:
-        return left & right
-    if op is ast.BinOp.BITOR:
-        return left | right
-    if op is ast.BinOp.BITXOR:
-        return left ^ right
-    if op is ast.BinOp.SHL:
-        return _mask32(left << (right & 31))
-    if op is ast.BinOp.SHR:
-        return left >> (right & 31)
-    if op is ast.BinOp.EQ:
-        return int(left == right)
-    if op is ast.BinOp.NEQ:
-        return int(left != right)
-    if op is ast.BinOp.LT:
-        return int(left < right)
-    if op is ast.BinOp.GT:
-        return int(left > right)
-    if op is ast.BinOp.LE:
-        return int(left <= right)
-    if op is ast.BinOp.GE:
-        return int(left >= right)
-    if op is ast.BinOp.AND:
-        return int(bool(left) and bool(right))
-    if op is ast.BinOp.OR:
-        return int(bool(left) or bool(right))
-    raise InterpError(f"unsupported operator {op}")
 
 
 class HandlerInterpreter:

@@ -25,9 +25,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.frontend.type_checker import CheckedProgram, check_program
-from repro.interp.compiled import CompiledSwitchRuntime
+from repro.interp.engine import SwitchEngine, make_engine, resolve_engine_name
 from repro.interp.events import LOCAL, EventInstance
-from repro.interp.interpreter import ExecutionResult, HandlerInterpreter, SwitchRuntime
+from repro.interp.interpreter import ExecutionResult, SwitchRuntime
 
 
 @dataclass
@@ -61,6 +61,9 @@ class SwitchStats:
     drops: int = 0
     #: remote events lost because the link to their target was down
     link_drops: int = 0
+    #: local events lost because the engine's recirculation queue overflowed
+    #: (only capacity-modelling engines — e.g. PISA — ever refuse admission)
+    recirc_drops: int = 0
     handled_by_event: Dict[str, int] = field(default_factory=dict)
 
     def recirc_bandwidth_bps(self, duration_ns: int) -> float:
@@ -72,23 +75,44 @@ class SwitchStats:
 class Switch:
     """One Lucid switch: a program instance plus its runtime state.
 
-    ``fast_path=True`` (the default) executes handlers through the
-    compiled-closure engine (:class:`~repro.interp.compiled.CompiledSwitchRuntime`);
-    ``fast_path=False`` selects the tree-walking
-    :class:`~repro.interp.interpreter.HandlerInterpreter`.  Both engines are
-    behaviourally identical (pinned by the differential conformance suite);
-    the fast path is several times faster on event-heavy workloads.
+    ``engine`` selects the execution substrate (see
+    :mod:`repro.interp.engine`):
+
+    * ``"compiled"`` (the default) — handlers lowered to Python closures;
+    * ``"reference"`` — the tree-walking AST interpreter;
+    * ``"pisa"`` — the program compiled through the full backend and
+      executed stage-by-stage on the pipeline layout, with recirculation
+      and delay-queue cost accounting.
+
+    All engines are behaviourally identical (pinned by the differential
+    conformance and scenario-parity suites).  ``fast_path=`` is kept as a
+    deprecated boolean alias (``True`` → compiled, ``False`` → reference).
     """
 
-    def __init__(self, switch_id: int, checked: CheckedProgram, fast_path: bool = True):
+    def __init__(
+        self,
+        switch_id: int,
+        checked: CheckedProgram,
+        engine: Optional[str] = None,
+        fast_path: Optional[bool] = None,
+        config: Optional[SchedulerConfig] = None,
+    ):
         self.id = switch_id
-        self.runtime = SwitchRuntime(checked, switch_id=switch_id, fast_path=fast_path)
-        if self.runtime.fast_path:
-            self.interpreter = CompiledSwitchRuntime(self.runtime)
-        else:
-            self.interpreter = HandlerInterpreter(self.runtime)
+        name = resolve_engine_name(engine, fast_path)
+        self.runtime = SwitchRuntime(
+            checked, switch_id=switch_id, fast_path=(name != "reference")
+        )
+        self.engine: SwitchEngine = make_engine(name, self.runtime, config=config)
+        self.engine_name = name
+        #: backwards-compatible alias for the engine's executor object
+        self.interpreter = self.engine.executor
         self.stats = SwitchStats()
         self.log: List[str] = []
+
+    @property
+    def fast_path(self) -> bool:
+        """Deprecated: ``True`` for any engine faster than the tree walker."""
+        return self.engine_name != "reference"
 
     def array(self, name: str):
         return self.runtime.array(name)
@@ -125,10 +149,16 @@ class TraceEntry:
 class Network:
     """A set of Lucid switches connected by point-to-point links."""
 
-    def __init__(self, config: Optional[SchedulerConfig] = None, fast_path: bool = True):
+    def __init__(
+        self,
+        config: Optional[SchedulerConfig] = None,
+        engine: Optional[str] = None,
+        fast_path: Optional[bool] = None,
+    ):
         self.config = config or SchedulerConfig()
-        #: default engine for switches added to this network (see :class:`Switch`)
-        self.fast_path = fast_path
+        #: default engine name for switches added to this network (see
+        #: :class:`Switch`); ``fast_path=`` is the deprecated boolean alias
+        self.engine = resolve_engine_name(engine, fast_path)
         self.switches: Dict[int, Switch] = {}
         self.links: Dict[Tuple[int, int], int] = {}
         self.now_ns = 0
@@ -141,25 +171,32 @@ class Network:
         self.trace_enabled = True
         self.on_handle: Optional[Callable[[TraceEntry], None]] = None
 
+    @property
+    def fast_path(self) -> bool:
+        """Deprecated alias: ``True`` unless the default engine is the
+        tree-walking reference interpreter."""
+        return self.engine != "reference"
+
     # -- topology -------------------------------------------------------------
     def add_switch(
         self,
         switch_id: int,
         program: "CheckedProgram | str",
         fast_path: Optional[bool] = None,
+        engine: Optional[str] = None,
     ) -> Switch:
         """Add a switch running ``program`` (source text or a checked program).
 
-        ``fast_path`` overrides the network-wide engine default for this
-        switch: ``True`` selects the compiled-closure engine, ``False`` the
-        tree-walking interpreter.
+        ``engine`` overrides the network-wide engine default for this switch
+        (``"reference"``, ``"compiled"``, or ``"pisa"``) — networks may mix
+        engines freely, e.g. one PISA-modelled switch inside an interpreted
+        fabric.  ``fast_path`` is the deprecated boolean alias.
         """
         if switch_id in self.switches:
             raise SimulationError(f"switch {switch_id} already exists")
         checked = check_program(program) if isinstance(program, str) else program
-        if fast_path is None:
-            fast_path = self.fast_path
-        switch = Switch(switch_id, checked, fast_path=fast_path)
+        name = resolve_engine_name(engine, fast_path, default=self.engine)
+        switch = Switch(switch_id, checked, engine=name, config=self.config)
         self.switches[switch_id] = switch
         return switch
 
@@ -234,7 +271,13 @@ class Network:
         source.stats.events_generated += 1
         for target in event.targets(source.id):
             if target == source.id:
-                # local: the event packet recirculates at least once
+                # local: the event packet recirculates at least once.  The
+                # engine may model a bounded recirculation/delay queue and
+                # refuse admission — a PISA queue overflow, counted like a
+                # link drop.
+                if not source.engine.admit_recirculation(event):
+                    source.stats.recirc_drops += 1
+                    continue
                 delay = self._delay_after_queue(event.delay_ns)
                 arrival = self.now_ns + self.config.recirculation_latency_ns + delay
                 recirc_passes = 1
@@ -246,6 +289,7 @@ class Network:
                     )
                 source.stats.recirculations += recirc_passes
                 source.stats.recirculated_bytes += recirc_passes * event.payload_bytes()
+                source.engine.on_recirculate(event)
             else:
                 if (source.id, target) in self._down_links:
                     source.stats.link_drops += 1
@@ -273,7 +317,11 @@ class Network:
         (stats, logs, generated-event scheduling).  Shared by :meth:`step`
         and the batched drain so the two loops cannot drift apart."""
         switch.runtime.time_ns = self.now_ns
-        result = switch.interpreter.run(event)
+        if event.source == switch.id:
+            # the event was generated here and came back through the
+            # recirculation port — let the engine release its queue slot
+            switch.engine.on_recirc_arrival(event)
+        result = switch.engine.run(event)
         stats = switch.stats
         stats.events_handled += 1
         stats.handled_by_event[event.name] = stats.handled_by_event.get(event.name, 0) + 1
@@ -492,6 +540,7 @@ class Network:
             switch.stats = SwitchStats()
             switch.log.clear()
             switch.runtime.time_ns = 0
+            switch.engine.reset()
             if arrays:
                 for arr in switch.runtime.arrays.values():
                     arr.reset()
@@ -507,15 +556,44 @@ class Network:
             total.remote_sends += switch.stats.remote_sends
             total.drops += switch.stats.drops
             total.link_drops += switch.stats.link_drops
+            total.recirc_drops += switch.stats.recirc_drops
         return total
+
+    def stats(self) -> Dict[int, Dict[str, object]]:
+        """Per-switch counters, engine names, and — for engines that model a
+        pipeline — substrate statistics (stage occupancy, recirculation
+        passes/bytes/bandwidth, queue depths).  Aggregates correctly across
+        heterogeneous engines: every switch reports its own engine's view.
+        """
+        out: Dict[int, Dict[str, object]] = {}
+        for sid in sorted(self.switches):
+            switch = self.switches[sid]
+            s = switch.stats
+            entry: Dict[str, object] = {
+                "engine": switch.engine_name,
+                "events_handled": s.events_handled,
+                "events_generated": s.events_generated,
+                "recirculations": s.recirculations,
+                "recirculated_bytes": s.recirculated_bytes,
+                "remote_sends": s.remote_sends,
+                "drops": s.drops,
+                "link_drops": s.link_drops,
+                "recirc_drops": s.recirc_drops,
+            }
+            pipeline = switch.engine.pipeline_stats(duration_ns=self.now_ns)
+            if pipeline is not None:
+                entry["pipeline"] = pipeline
+            out[sid] = entry
+        return out
 
 
 def single_switch_network(
     program: "CheckedProgram | str",
     config: Optional[SchedulerConfig] = None,
-    fast_path: bool = True,
+    fast_path: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[Network, Switch]:
     """Convenience constructor for the common one-switch case."""
-    network = Network(config=config, fast_path=fast_path)
+    network = Network(config=config, engine=resolve_engine_name(engine, fast_path))
     switch = network.add_switch(0, program)
     return network, switch

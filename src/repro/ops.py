@@ -1,0 +1,104 @@
+"""Shared arithmetic and hash primitives of the Lucid data plane.
+
+Every execution substrate in this repository — the tree-walking
+interpreter (:mod:`repro.interp.interpreter`), the compiled-closure fast
+path (:mod:`repro.interp.compiled`), and the PISA pipeline executor
+(:mod:`repro.pisa.pipeline`) — must agree bit-for-bit on what one ALU
+operation computes.  This module is the single definition they all
+consume; keeping it dependency-free (it imports only the AST operator
+enum) lets any layer use it without pulling in an engine.
+
+All arithmetic is 32-bit: results are masked to ``0xFFFFFFFF``, division
+and modulo by zero yield 0 (matching the Tofino's saturating behaviour in
+the reference runtime), and shifts use only the low five bits of their
+right operand, as the hardware barrel shifter does.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Sequence
+
+from repro.errors import InterpError
+from repro.frontend import ast
+
+MASK32 = 0xFFFFFFFF
+
+
+def mask32(value: int) -> int:
+    """Truncate ``value`` to an unsigned 32-bit word."""
+    return value & MASK32
+
+
+def div32(left: int, right: int) -> int:
+    """32-bit division; division by zero yields 0."""
+    return left // right if right else 0
+
+
+def mod32(left: int, right: int) -> int:
+    """32-bit modulo; modulo by zero yields 0."""
+    return left % right if right else 0
+
+
+def lucid_hash(width: int, args: Sequence[int], seed: int = 0) -> int:
+    """The deterministic hash used for ``hash<<w>>(...)`` — a CRC32 over the
+    argument words, truncated to ``w`` bits (the Tofino's hash units compute
+    CRC-family hashes)."""
+    value = zlib.crc32(
+        struct.pack(
+            "<%dI" % (len(args) + 1),
+            seed & MASK32,
+            *[int(arg) & MASK32 for arg in args],
+        )
+    )
+    if width >= 32:
+        return value
+    return value & ((1 << width) - 1)
+
+
+def apply_binop(op: ast.BinOp, left: int, right: int) -> int:
+    """Apply one Lucid binary operator over 32-bit operands.
+
+    Comparison and boolean operators return 0/1.  ``&&``/``||`` here are the
+    *strict* forms; engines that implement short-circuit evaluation do so
+    before calling in (both orders are observationally identical because
+    Lucid expressions this deep are pure).
+    """
+    if op is ast.BinOp.ADD:
+        return (left + right) & MASK32
+    if op is ast.BinOp.SUB:
+        return (left - right) & MASK32
+    if op is ast.BinOp.MUL:
+        return (left * right) & MASK32
+    if op is ast.BinOp.DIV:
+        return div32(left, right)
+    if op is ast.BinOp.MOD:
+        return mod32(left, right)
+    if op is ast.BinOp.BITAND:
+        return left & right
+    if op is ast.BinOp.BITOR:
+        return left | right
+    if op is ast.BinOp.BITXOR:
+        return left ^ right
+    if op is ast.BinOp.SHL:
+        return (left << (right & 31)) & MASK32
+    if op is ast.BinOp.SHR:
+        return left >> (right & 31)
+    if op is ast.BinOp.EQ:
+        return int(left == right)
+    if op is ast.BinOp.NEQ:
+        return int(left != right)
+    if op is ast.BinOp.LT:
+        return int(left < right)
+    if op is ast.BinOp.GT:
+        return int(left > right)
+    if op is ast.BinOp.LE:
+        return int(left <= right)
+    if op is ast.BinOp.GE:
+        return int(left >= right)
+    if op is ast.BinOp.AND:
+        return int(bool(left) and bool(right))
+    if op is ast.BinOp.OR:
+        return int(bool(left) or bool(right))
+    raise InterpError(f"unsupported operator {op}")

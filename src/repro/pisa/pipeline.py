@@ -5,12 +5,18 @@ This is the substrate that stands in for the Tofino: it takes the
 executes event packets through it, stage by stage, atomic table by atomic
 table — evaluating each table's path conditions against the packet's metadata
 (as the generated match-action rules would) and applying its single operation
-(stateless ALU op, stateful ALU register access, hash, or event generation).
+(stateless ALU op, stateful ALU register access, hash, event generation, or a
+primitive action such as ``drop``/``forward``/``printf``).
 
 Running the same program through this pipeline executor and through the
 AST-level interpreter (:mod:`repro.interp`) and comparing the resulting
 register state is the repository's main end-to-end check that compilation
-preserves semantics.
+preserves semantics.  Since the engine refactor the executor is also
+*load-bearing*: :class:`~repro.interp.engine.PisaEngine` drives whole
+scenario workloads through it, one pipeline pass per handled event, over a
+:class:`~repro.interp.interpreter.SwitchRuntime` shared with the network
+simulation (pass ``runtime=`` to share arrays, externs, the clock, and the
+PRNG with a live :class:`~repro.interp.network.Switch`).
 """
 
 from __future__ import annotations
@@ -22,22 +28,20 @@ from repro.backend.compiler import CompiledProgram
 from repro.backend.layout import PipelineLayout
 from repro.backend.tables import AtomicTable, TableKind
 from repro.errors import SimulationError
-from repro.frontend import ast
 from repro.interp.arrays import RuntimeArray
 from repro.interp.events import LOCAL, EventInstance
-from repro.interp.interpreter import SwitchRuntime, lucid_hash, _apply_binop
+from repro.interp.interpreter import SwitchRuntime
 from repro.midend.normalize import (
     Const,
     NArrayOp,
-    NCond,
     NCopy,
     NGenerate,
     NHash,
     NOp,
     NPrim,
     Operand,
-    Var,
 )
+from repro.ops import MASK32, apply_binop, lucid_hash
 
 
 @dataclass
@@ -45,7 +49,9 @@ class PipelinePassResult:
     """What one packet's pass through the pipeline produced."""
 
     generated: List[EventInstance] = field(default_factory=list)
+    prints: List[str] = field(default_factory=list)
     dropped: bool = False
+    flooded: bool = False
     forwarded_port: Optional[int] = None
     stages_traversed: int = 0
     tables_executed: int = 0
@@ -54,22 +60,35 @@ class PipelinePassResult:
 class PisaPipeline:
     """Executes a compiled program's layout over shared register state."""
 
-    def __init__(self, compiled: CompiledProgram, switch_id: int = 0):
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        switch_id: int = 0,
+        runtime: Optional[SwitchRuntime] = None,
+    ):
         self.compiled = compiled
         self.info = compiled.checked.info
         self.layout: PipelineLayout = compiled.layout
-        self.switch_id = switch_id
-        # reuse the interpreter's runtime for arrays and compiled memops
-        self.runtime = SwitchRuntime(compiled.checked, switch_id=switch_id)
+        # reuse the interpreter's runtime for arrays and compiled memops; an
+        # externally supplied runtime shares its state (and its switch id)
+        # with whoever else holds it — this is how the PISA engine keeps its
+        # register file visible to Network.reset() and the array digests
+        self.runtime = runtime or SwitchRuntime(compiled.checked, switch_id=switch_id)
+        self.switch_id = self.runtime.switch_id
 
     # -- state access ---------------------------------------------------------
     def array(self, name: str) -> RuntimeArray:
         return self.runtime.array(name)
 
     # -- execution --------------------------------------------------------------
-    def process(self, event: EventInstance, time_ns: int = 0) -> PipelinePassResult:
-        """Run one event packet through the pipeline (one ingress pass)."""
-        self.runtime.time_ns = time_ns
+    def process(self, event: EventInstance, time_ns: Optional[int] = None) -> PipelinePassResult:
+        """Run one event packet through the pipeline (one ingress pass).
+
+        ``time_ns`` stamps the runtime clock before execution; ``None`` keeps
+        the clock wherever the caller (e.g. the network scheduler) set it.
+        """
+        if time_ns is not None:
+            self.runtime.time_ns = time_ns
         handler = self.info.handlers.get(event.name)
         result = PipelinePassResult()
         if handler is None:
@@ -78,7 +97,6 @@ class PisaPipeline:
         metadata: Dict[str, int] = {
             param.name: int(arg) for param, arg in zip(handler.params, event.args)
         }
-        pending_events: Dict[int, EventInstance] = {}
         for stage in self.layout.stages:
             stage_executed = 0
             for merged in stage.merged_tables:
@@ -98,11 +116,15 @@ class PisaPipeline:
     def _operand_value(self, operand: Operand, metadata: Dict[str, int]) -> int:
         if isinstance(operand, Const):
             return operand.value
-        if operand.name == "SELF":
+        name = operand.name
+        if name in metadata:
+            return metadata[name]
+        if name == "SELF" or name == "__Sys_self":
             return self.switch_id
-        if operand.name in metadata:
-            return metadata[operand.name]
-        const = self.info.consts.lookup(operand.name)
+        if name == "__Sys_time":
+            # the ingress timestamp metadata field, truncated like Sys.time()
+            return self.runtime.time_ns & MASK32
+        const = self.info.consts.lookup(name)
         if const is not None:
             return const
         # reading a metadata field that no table has written yet yields zero,
@@ -113,7 +135,7 @@ class PisaPipeline:
         for cond in table.path_conditions:
             lhs = self._operand_value(cond.lhs, metadata)
             rhs = self._operand_value(cond.rhs, metadata)
-            if not _apply_binop(cond.op, lhs, rhs):
+            if not apply_binop(cond.op, lhs, rhs):
                 return False
         return True
 
@@ -124,7 +146,7 @@ class PisaPipeline:
         if isinstance(stmt, NOp):
             lhs = self._operand_value(stmt.lhs, metadata)
             rhs = self._operand_value(stmt.rhs, metadata)
-            metadata[stmt.dst] = _apply_binop(stmt.op, lhs, rhs)
+            metadata[stmt.dst] = apply_binop(stmt.op, lhs, rhs)
         elif isinstance(stmt, NCopy):
             metadata[stmt.dst] = self._operand_value(stmt.src, metadata)
         elif isinstance(stmt, NHash):
@@ -135,14 +157,38 @@ class PisaPipeline:
         elif isinstance(stmt, NGenerate):
             self._execute_generate(stmt, metadata, result)
         elif isinstance(stmt, NPrim):
-            if stmt.prim == "drop":
-                result.dropped = True
-            elif stmt.prim == "forward" and stmt.args:
-                result.forwarded_port = self._operand_value(stmt.args[0], metadata)
+            self._execute_prim(stmt, metadata, result)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"cannot execute table {table.name}")
 
-    def _execute_array_op(self, stmt: NArrayOp, metadata: Dict[str, int]) -> None:
+    def _execute_prim(self, stmt, metadata: Dict[str, int], result: PipelinePassResult) -> None:
+        prim = stmt.prim
+        if prim == "drop":
+            result.dropped = True
+        elif prim == "forward":
+            if stmt.args:
+                result.forwarded_port = self._operand_value(stmt.args[0], metadata)
+        elif prim == "flood":
+            result.flooded = True
+        elif prim == "printf":
+            result.prints.append(
+                " ".join(str(self._operand_value(a, metadata)) for a in stmt.args)
+            )
+        elif prim == "Sys.time":
+            metadata["__Sys_time"] = self.runtime.time_ns & MASK32
+        elif prim == "Sys.self":
+            metadata["__Sys_self"] = self.switch_id
+        elif prim == "Sys.random":
+            # advances the shared xorshift state exactly once, like the
+            # interpreter does at the corresponding call site
+            metadata["__Sys_random"] = self.runtime.random()
+        elif prim.startswith("extern:"):
+            fn = self.runtime.externs.get(prim.split(":", 1)[1])
+            if fn is not None:
+                fn(*[self._operand_value(a, metadata) for a in stmt.args])
+        # unknown primitives are inert metadata, as unprogrammed actions are
+
+    def _execute_array_op(self, stmt, metadata: Dict[str, int]) -> None:
         array = self.runtime.array(stmt.array)
         index = self._operand_value(stmt.index, metadata)
         args = [self._operand_value(a, metadata) for a in stmt.args]
@@ -169,7 +215,7 @@ class PisaPipeline:
             raise SimulationError(f"unknown array method {stmt.method}")
 
     def _execute_generate(
-        self, stmt: NGenerate, metadata: Dict[str, int], result: PipelinePassResult
+        self, stmt, metadata: Dict[str, int], result: PipelinePassResult
     ) -> None:
         args = tuple(self._operand_value(a, metadata) for a in stmt.args)
         delay = self._operand_value(stmt.delay, metadata)

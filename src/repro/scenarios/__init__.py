@@ -30,7 +30,9 @@ from repro.scenarios.runner import (
     ScenarioSetup,
     network_array_digest,
     run_scenario,
+    run_scenario_all_engines,
     run_scenario_both,
+    run_scenario_engines,
     run_setup,
 )
 from repro.scenarios.topology import (
@@ -55,7 +57,9 @@ __all__ = [
     "ScenarioSetup",
     "network_array_digest",
     "run_scenario",
+    "run_scenario_all_engines",
     "run_scenario_both",
+    "run_scenario_engines",
     "run_setup",
     "Topology",
     "fat_tree",

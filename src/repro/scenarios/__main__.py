@@ -4,12 +4,16 @@
 
     python -m repro.scenarios list
     python -m repro.scenarios run <name> [--events N] [--seed S]
-                                  [--fast-path | --reference | --both]
+                                  [--engine reference|compiled|pisa]
+                                  [--all-engines | --both]
                                   [--json PATH] [--quiet]
 
-``run`` exits 0 when every invariant held (and, with ``--both``, when the
-compiled and reference engines produced identical verdicts and final array
-states); 1 otherwise.
+``--engine`` selects the execution engine (default ``compiled``);
+``--all-engines`` runs reference, compiled, AND the PISA pipeline engine and
+requires identical invariant verdicts and final array digests across all
+three (``--both`` is the older two-engine form).  ``run`` exits 0 when every
+invariant held (and, with ``--both``/``--all-engines``, when the engines
+agreed); 1 otherwise.
 """
 
 from __future__ import annotations
@@ -19,8 +23,14 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.interp.engine import ENGINE_NAMES
 from repro.scenarios.registry import SCENARIOS, get
-from repro.scenarios.runner import ScenarioResult, run_scenario, run_scenario_both
+from repro.scenarios.runner import (
+    ScenarioResult,
+    run_scenario,
+    run_scenario_all_engines,
+    run_scenario_both,
+)
 
 
 def _print_listing() -> None:
@@ -45,6 +55,22 @@ def _print_result(result: ScenarioResult, quiet: bool) -> None:
         if not report.ok and not quiet:
             for message in report.messages:
                 print(f"        {message}")
+    totals = result.pipeline_totals
+    if totals:
+        print(
+            "  pipeline: "
+            f"{totals.get('stages', 0)} stages occupied, "
+            f"{totals.get('recirculated_events', 0)} events recirculated, "
+            f"peak queue depth {totals.get('peak_queue_depth', 0)}, "
+            f"{totals.get('recirc_passes', 0)} recirc passes "
+            f"({totals.get('recirc_bytes', 0)} B"
+            + (
+                f", {totals['recirc_bandwidth_bps'] / 1e9:.3f} Gb/s"
+                if "recirc_bandwidth_bps" in totals
+                else ""
+            )
+            + f"), {totals.get('recirc_drops', 0)} queue-overflow drops"
+        )
     if result.details and not quiet:
         for key, value in result.details.items():
             print(f"  {key}: {value}")
@@ -62,13 +88,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="traffic events to stream (default 20000)")
     run_parser.add_argument("--seed", type=int, default=1, help="workload seed")
     engine = run_parser.add_mutually_exclusive_group()
+    engine.add_argument("--engine", choices=ENGINE_NAMES, default=None,
+                        help="execution engine (default: compiled)")
     engine.add_argument("--fast-path", action="store_true", default=False,
-                        help="compiled-closure engine only (the default)")
+                        help="compiled-closure engine only (deprecated alias "
+                        "for --engine compiled)")
     engine.add_argument("--reference", action="store_true",
-                        help="tree-walking reference engine only")
+                        help="tree-walking reference engine only (deprecated "
+                        "alias for --engine reference)")
     engine.add_argument("--both", action="store_true",
-                        help="run both engines and require identical verdicts "
-                        "and final array states")
+                        help="run the compiled and reference engines and "
+                        "require identical verdicts and final array states")
+    engine.add_argument("--all-engines", action="store_true",
+                        help="run ALL engines (reference, compiled, pisa) and "
+                        "require identical verdicts and final array states")
     run_parser.add_argument("--json", type=str, default="",
                             help="also write the result(s) as JSON to PATH")
     run_parser.add_argument("--quiet", action="store_true",
@@ -86,22 +119,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     results: List[ScenarioResult] = []
-    if args.both:
+    if args.both or args.all_engines:
         try:
-            fast, reference = run_scenario_both(scenario, args.events, args.seed)
+            if args.all_engines:
+                results = run_scenario_all_engines(scenario, args.events, args.seed)
+            else:
+                results = list(run_scenario_both(scenario, args.events, args.seed))
         except AssertionError as exc:
             print(f"ENGINE MISMATCH: {exc}")
             return 1
-        results = [fast, reference]
     else:
-        # --fast-path and the default both select the compiled engine
-        fast_path = args.fast_path or not args.reference
-        results = [run_scenario(scenario, args.events, args.seed, fast_path=fast_path)]
+        if args.engine:
+            engine_name = args.engine
+        elif args.reference:
+            engine_name = "reference"
+        else:
+            # --fast-path and the default both select the compiled engine
+            engine_name = "compiled"
+        results = [run_scenario(scenario, args.events, args.seed, engine=engine_name)]
 
     for result in results:
         _print_result(result, args.quiet)
-    if args.both:
-        print("engines agree: identical invariant verdicts and array states")
+    if args.both or args.all_engines:
+        engines = ", ".join(r.engine for r in results)
+        print(f"engines agree ({engines}): identical invariant verdicts and array states")
 
     if args.json:
         payload = [r.to_dict() for r in results]

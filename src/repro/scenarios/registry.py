@@ -86,8 +86,8 @@ def _build_heavy_hitter(topology: topo.Topology):
         traffic = tm.ZipfPacketTraffic(event_name="pkt", hosts=512, alpha=1.2)
         return ScenarioSetup(
             topology=topology,
-            make_network=lambda fast_path: topology.build_network(
-                _app_source("CM"), fast_path=fast_path, name="CM"
+            make_network=lambda engine: topology.build_network(
+                _app_source("CM"), engine=engine, name="CM"
             ),
             traffic=lambda: traffic.events(topology.edge, events, seed),
             invariants=_app_invariants("CM") + [SketchOverestimates(traffic)],
@@ -139,8 +139,8 @@ def _build_sfw_scan_burst(events: int, seed: int) -> ScenarioSetup:
     scan = tm.ScanBurstTraffic(start_ns=scan_start, target_hosts=256)
     return ScenarioSetup(
         topology=topology,
-        make_network=lambda fast_path: topology.build_network(
-            _app_source("SFW"), fast_path=fast_path, name="SFW"
+        make_network=lambda engine: topology.build_network(
+            _app_source("SFW"), engine=engine, name="SFW"
         ),
         traffic=lambda: tm.merge(
             benign.events(topology.edge, benign_events, seed),
@@ -253,8 +253,8 @@ def _build_sfw_install_latency(events: int, seed: int) -> ScenarioSetup:
     latency = DataPlaneBeatsRemote(traffic)
     return ScenarioSetup(
         topology=topology,
-        make_network=lambda fast_path: topology.build_network(
-            _app_source("SFW"), fast_path=fast_path, name="SFW"
+        make_network=lambda engine: topology.build_network(
+            _app_source("SFW"), engine=engine, name="SFW"
         ),
         traffic=lambda: traffic.events(topology.edge, events, seed),
         invariants=[latency],
@@ -286,8 +286,8 @@ def _build_dns_reflection(events: int, seed: int) -> ScenarioSetup:
     traffic = tm.DnsReflectionTraffic(reflected_share=0.3)
     return ScenarioSetup(
         topology=topology,
-        make_network=lambda fast_path: topology.build_network(
-            _app_source("DNS"), fast_path=fast_path, name="DNS"
+        make_network=lambda engine: topology.build_network(
+            _app_source("DNS"), engine=engine, name="DNS"
         ),
         traffic=lambda: traffic.events(topology.edge, events, seed),
         invariants=[DnsVictimBlocked(victim=traffic.victim, traffic=traffic)],
@@ -318,8 +318,8 @@ def _build_nat_churn(events: int, seed: int) -> ScenarioSetup:
     traffic = tm.NatChurnTraffic()
     return ScenarioSetup(
         topology=topology,
-        make_network=lambda fast_path: topology.build_network(
-            _app_source("NAT"), fast_path=fast_path, name="NAT"
+        make_network=lambda engine: topology.build_network(
+            _app_source("NAT"), engine=engine, name="NAT"
         ),
         traffic=lambda: traffic.events(topology.edge, events, seed),
         invariants=_app_invariants("NAT"),
@@ -365,8 +365,8 @@ def _build_rip_line(events: int, seed: int) -> ScenarioSetup:
 
     return ScenarioSetup(
         topology=topology,
-        make_network=lambda fast_path: topology.build_network(
-            _app_source("RIP"), fast_path=fast_path, name="RIP"
+        make_network=lambda engine: topology.build_network(
+            _app_source("RIP"), engine=engine, name="RIP"
         ),
         traffic=traffic,
         prepare=prepare,
@@ -451,8 +451,8 @@ def _build_reroute_linkfail(events: int, seed: int) -> ScenarioSetup:
 
     return ScenarioSetup(
         topology=topology,
-        make_network=lambda fast_path: topology.build_network(
-            _app_source("RR"), fast_path=fast_path, name="RR"
+        make_network=lambda engine: topology.build_network(
+            _app_source("RR"), engine=engine, name="RR"
         ),
         traffic=traffic,
         prepare=prepare,
@@ -500,9 +500,9 @@ def _build_sro_writes(events: int, seed: int) -> ScenarioSetup:
 
     return ScenarioSetup(
         topology=topology,
-        make_network=lambda fast_path: topology.build_network(
+        make_network=lambda engine: topology.build_network(
             _app_source("SRO"),
-            fast_path=fast_path,
+            engine=engine,
             groups=lambda sid: {"REPLICAS": replicas},
             name="SRO",
         ),
@@ -541,9 +541,9 @@ def _build_dfw_ring(events: int, seed: int) -> ScenarioSetup:
     )
     return ScenarioSetup(
         topology=topology,
-        make_network=lambda fast_path: topology.build_network(
+        make_network=lambda engine: topology.build_network(
             _app_source("DFW"),
-            fast_path=fast_path,
+            engine=engine,
             groups=lambda sid: {"PEERS": [s for s in range(n) if s != sid]},
             name="DFW",
         ),

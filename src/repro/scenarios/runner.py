@@ -1,5 +1,8 @@
 """The scenario runner: wire an application + topology + streaming traffic +
-invariants, run it on either engine, and report verdicts and per-switch stats.
+invariants, run it on any execution engine (reference interpreter, compiled
+fast path, or the PISA pipeline model), and report verdicts and per-switch
+stats — including pipeline/recirculation statistics for engines that model
+the hardware substrate.
 
 The runner never materialises traffic: the scenario's traffic factory yields
 a lazy, time-ordered stream that is merged with the simulator's internal
@@ -16,8 +19,9 @@ import struct
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.interp.engine import ENGINE_NAMES, resolve_engine_name
 from repro.interp.network import CONTROL, Network, SourceItem
 from repro.scenarios.invariants import Invariant, InvariantReport, evaluate
 from repro.scenarios.topology import Topology
@@ -29,7 +33,8 @@ class ScenarioSetup:
     stateful traffic models and invariants never leak between engines."""
 
     topology: Topology
-    make_network: Callable[[bool], Network]
+    #: engine-name -> ready network factory (``"reference" | "compiled" | "pisa"``)
+    make_network: Callable[[str], Network]
     #: zero-arg factory returning the streaming traffic source
     traffic: Callable[[], Iterable[SourceItem]]
     invariants: List[Invariant] = field(default_factory=list)
@@ -54,11 +59,16 @@ class ScenarioResult:
     wall_s: float
     events_per_sec: float
     invariants: List[InvariantReport]
-    #: per-switch summary counters
-    switch_stats: Dict[int, Dict[str, int]]
+    #: per-switch summary counters (includes the engine name and, for
+    #: pipeline-modelling engines, a nested ``"pipeline"`` stats dict)
+    switch_stats: Dict[int, Dict[str, object]]
     #: CRC32 digest of every switch's final array state
     array_digest: str
     details: Dict[str, object] = field(default_factory=dict)
+    #: network-wide pipeline totals (stage occupancy, recirculated events,
+    #: peak queue depth, recirc passes/bytes/drops); empty for engines that
+    #: do not model a pipeline
+    pipeline_totals: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -94,6 +104,7 @@ class ScenarioResult:
             ],
             "array_digest": self.array_digest,
             "details": self.details,
+            "pipeline": self.pipeline_totals,
         }
 
 
@@ -128,10 +139,39 @@ def network_array_digest(network: Network) -> str:
     return f"{crc:08x}"
 
 
+def _aggregate_pipeline_totals(network: Network) -> Dict[str, object]:
+    """Sum per-switch pipeline stats into a network-wide summary (max for
+    depth/stage peaks).  Heterogeneous networks aggregate only the switches
+    whose engines expose pipeline stats."""
+    totals: Dict[str, object] = {}
+    switches = 0
+    for switch in network.switches.values():
+        stats = switch.engine.pipeline_stats(duration_ns=network.now_ns)
+        if stats is None:
+            continue
+        switches += 1
+        for key, value in stats.items():
+            if not isinstance(value, (int, float)):
+                continue
+            if key in ("max_stages_traversed", "peak_queue_depth", "stages"):
+                totals[key] = max(totals.get(key, 0), value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+    if switches:
+        totals["switches"] = switches
+        totals["recirc_drops"] = sum(
+            sw.stats.recirc_drops for sw in network.switches.values()
+        )
+    return totals
+
+
 def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
-              fast_path: bool = True) -> ScenarioResult:
-    """Execute one prepared scenario on one engine."""
-    network = setup.make_network(fast_path)
+              fast_path: Optional[bool] = None,
+              engine: Optional[str] = None) -> ScenarioResult:
+    """Execute one prepared scenario on one engine (``engine=`` names it;
+    ``fast_path=`` remains as the deprecated boolean alias)."""
+    engine_name = resolve_engine_name(engine, fast_path)
+    network = setup.make_network(engine_name)
     if setup.prepare is not None:
         setup.prepare(network)
     for inv in setup.invariants:
@@ -153,21 +193,26 @@ def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
     handled += network.run(until_ns=horizon)
     wall = time.perf_counter() - start
     reports = evaluate(setup.invariants, network)
-    stats = {
-        sid: {
+    stats: Dict[int, Dict[str, object]] = {}
+    for sid, sw in network.switches.items():
+        entry: Dict[str, object] = {
+            "engine": sw.engine_name,
             "events_handled": sw.stats.events_handled,
             "events_generated": sw.stats.events_generated,
             "recirculations": sw.stats.recirculations,
             "remote_sends": sw.stats.remote_sends,
             "drops": sw.stats.drops,
             "link_drops": sw.stats.link_drops,
+            "recirc_drops": sw.stats.recirc_drops,
         }
-        for sid, sw in network.switches.items()
-    }
+        pipeline = sw.engine.pipeline_stats(duration_ns=network.now_ns)
+        if pipeline is not None:
+            entry["pipeline"] = pipeline
+        stats[sid] = entry
     details = setup.details(network) if setup.details is not None else {}
     return ScenarioResult(
         scenario=scenario_name,
-        engine="compiled" if fast_path else "reference",
+        engine=engine_name,
         seed=seed,
         events_injected=tracker.injected,
         events_handled=handled,
@@ -178,27 +223,50 @@ def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
         switch_stats=stats,
         array_digest=network_array_digest(network),
         details=details,
+        pipeline_totals=_aggregate_pipeline_totals(network),
     )
 
 
 def run_scenario(scenario, events: int, seed: int,
-                 fast_path: bool = True) -> ScenarioResult:
+                 fast_path: Optional[bool] = None,
+                 engine: Optional[str] = None) -> ScenarioResult:
     """Build and run a registered scenario once (see
-    :mod:`repro.scenarios.registry` for the catalogue)."""
+    :mod:`repro.scenarios.registry` for the catalogue).  ``engine`` selects
+    the execution engine (default ``"compiled"``)."""
     setup = scenario.build(events, seed)
-    return run_setup(setup, scenario.name, seed, fast_path=fast_path)
+    return run_setup(setup, scenario.name, seed, fast_path=fast_path, engine=engine)
+
+
+def run_scenario_engines(
+    scenario, events: int, seed: int, engines: Sequence[str] = ENGINE_NAMES
+) -> List[ScenarioResult]:
+    """Run one scenario under several engines (a fresh setup per engine, so
+    stateful traffic models cannot leak) and require identical invariant
+    verdicts and final array digests across all of them — the differential
+    conformance contract, now three-way."""
+    results = [run_scenario(scenario, events, seed, engine=name) for name in engines]
+    baseline = results[0]
+    for other in results[1:]:
+        if other.verdict_signature() != baseline.verdict_signature():
+            raise AssertionError(
+                f"engines diverge on scenario '{scenario.name}': "
+                f"{baseline.engine}={baseline.verdict_signature()!r} "
+                f"{other.engine}={other.verdict_signature()!r}"
+            )
+    return results
+
+
+def run_scenario_all_engines(scenario, events: int, seed: int) -> List[ScenarioResult]:
+    """Run a scenario on every bundled engine (reference, compiled, pisa)
+    and assert they agree; returns the results in :data:`ENGINE_NAMES` order."""
+    return run_scenario_engines(scenario, events, seed, engines=ENGINE_NAMES)
 
 
 def run_scenario_both(scenario, events: int, seed: int) -> Tuple[ScenarioResult, ScenarioResult]:
     """Run a scenario under the compiled fast path AND the tree-walking
     reference engine; raises AssertionError if their invariant verdicts or
     final array states differ (the differential conformance contract)."""
-    fast = run_scenario(scenario, events, seed, fast_path=True)
-    reference = run_scenario(scenario, events, seed, fast_path=False)
-    if fast.verdict_signature() != reference.verdict_signature():
-        raise AssertionError(
-            f"engines diverge on scenario '{scenario.name}': "
-            f"compiled={fast.verdict_signature()!r} "
-            f"reference={reference.verdict_signature()!r}"
-        )
-    return fast, reference
+    compiled, reference = run_scenario_engines(
+        scenario, events, seed, engines=("compiled", "reference")
+    )
+    return compiled, reference

@@ -65,7 +65,7 @@ def build_events(checked, count=60, seed=0xC0FFEE):
 
 def run_engine(checked, fast_path, events, nswitches=1, max_events=400):
     """Run one engine over the event sequence; return everything observable."""
-    network = Network(fast_path=fast_path)
+    network = Network(engine="compiled" if fast_path else "reference")
     for sid in range(nswitches):
         network.add_switch(sid, checked)
     for a in range(nswitches):
@@ -218,7 +218,7 @@ def _expected_op_results(a, b):
 
 
 def _run_ops_program(fast_path, pairs):
-    network = Network(fast_path=fast_path)
+    network = Network(engine="compiled" if fast_path else "reference")
     switch = network.add_switch(0, check_program(_OPS_PROGRAM))
     for i, (a, b) in enumerate(pairs):
         network.inject(0, EventInstance("e", (a, b)), at_ns=i)
@@ -264,7 +264,7 @@ def test_hash_boundary_semantics_engines_agree():
     pairs = [(a, b) for a in BOUNDARY for b in BOUNDARY]
 
     def run(fast_path):
-        network = Network(fast_path=fast_path)
+        network = Network(engine="compiled" if fast_path else "reference")
         switch = network.add_switch(0, check_program(_HASH_PROGRAM))
         for i, (a, b) in enumerate(pairs):
             network.inject(0, EventInstance("e", (a, b)), at_ns=i)
@@ -315,7 +315,7 @@ def test_inlined_fun_locals_reset_between_call_sites():
     """
     checked = check_program(source)
     assert_engines_agree(checked, [(EventInstance("e", ()), 0)])
-    network = Network(fast_path=True)
+    network = Network(engine="compiled")
     switch = network.add_switch(0, checked)
     network.inject(0, EventInstance("e", ()))
     network.run()
@@ -380,7 +380,7 @@ def test_compiled_engine_ignores_events_without_handlers():
 
 def test_compiled_engine_sees_late_bound_externs():
     source = "extern fun int probe(int v); event e(int v); handle e(int v) { int x = probe(v); printf(x); }"
-    network = Network(fast_path=True)
+    network = Network(engine="compiled")
     switch = network.add_switch(0, source)
     # bind AFTER the handlers were compiled: the fast path must pick it up
     switch.bind_extern("probe", lambda v: v * 3)

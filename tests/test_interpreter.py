@@ -204,7 +204,7 @@ def test_if_and_match_branches_share_handler_scope(fast_path):
       Array.set(t_match, 0, y);
     }
     """
-    network = Network(fast_path=fast_path)
+    network = Network(engine="compiled" if fast_path else "reference")
     switch = network.add_switch(0, check_program(source))
     network.inject(0, EventInstance("e", (1,)))
     network.run()

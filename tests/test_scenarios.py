@@ -398,7 +398,7 @@ class TestNetworkReset:
 
     def test_reset_works_on_both_engines(self):
         for fast_path in (True, False):
-            network = Network(fast_path=fast_path)
+            network = Network(engine="compiled" if fast_path else "reference")
             network.trace_enabled = False
             network.add_switch(0, COUNTER_PROGRAM)
             self._run_once(network)

@@ -30,6 +30,17 @@ from repro.frontend.symbols import ProgramInfo
 from repro.midend.normalize import NormalizedHandler
 
 
+class _PinConflict(Exception):
+    """Internal signal: an array's pinned stage is infeasible in the actual
+    (resource-aware) placement and must move to ``required`` or later."""
+
+    def __init__(self, array: str, required: int, span=None):
+        super().__init__(array)
+        self.array = array
+        self.required = required
+        self.span = span
+
+
 @dataclass
 class MergeOptions:
     """Knobs for the layout pass — used by the optimisation ablations."""
@@ -151,16 +162,14 @@ class _Layouter:
             if table.kind is TableKind.MEMORY and table.array in self.array_pins:
                 pinned = self.array_pins[table.array]
                 if pinned < earliest:
-                    raise LayoutError(
-                        f"register array '{table.array}' is pinned to stage {pinned} but "
-                        f"table '{table.name}' cannot execute before stage {earliest}; "
-                        "the handlers access shared state in incompatible orders",
-                        getattr(table.stmt, "span", None),
+                    # the ASAP pin underestimated this handler's resource-aware
+                    # depth; ask build_layout to move the array and re-run
+                    raise _PinConflict(
+                        table.array, earliest, getattr(table.stmt, "span", None)
                     )
                 if not self._stage_has_room(pinned, table):
-                    raise LayoutError(
-                        f"stage {pinned} has no free stateful ALU for table '{table.name}'",
-                        getattr(table.stmt, "span", None),
+                    raise _PinConflict(
+                        table.array, pinned + 1, getattr(table.stmt, "span", None)
                     )
                 self._place(table, pinned)
                 continue
@@ -240,14 +249,34 @@ def build_layout(
             dataflows[name] = _program_order_dataflow(ordered)
 
     array_pins = _compute_array_pins(info, dataflows) if options.optimize else {}
-    layouter = _Layouter(info, model, options, array_pins)
 
     if options.optimize:
-        for name in normalized:
-            layouter.layout_handler(dataflows[name])
+        # The ASAP fixpoint is a *lower bound*: actual placement can push a
+        # table past its ASAP depth when a stage runs out of ALUs/tables, so a
+        # pinned stage may prove infeasible only once real placement runs.
+        # Pins can only move later, and each is bounded by the defensive
+        # 64-stage cap, so bump-and-retry terminates.
+        max_retries = 64 * (len(info.global_order) + 1)
+        for _ in range(max_retries):
+            layouter = _Layouter(info, model, options, dict(array_pins))
+            try:
+                for name in normalized:
+                    layouter.layout_handler(dataflows[name])
+            except _PinConflict as conflict:
+                if conflict.required > 64:
+                    raise LayoutError(
+                        f"register array '{conflict.array}' cannot be placed within "
+                        "64 stages; the handlers access shared state in "
+                        "incompatible orders",
+                        conflict.span,
+                    ) from None
+                array_pins[conflict.array] = conflict.required
+                continue
+            break
+        else:  # pragma: no cover - the per-array stage cap fires first
+            raise LayoutError("table placement did not converge")
     else:
-        pins: Dict[str, int] = {}
-        layouter.array_pins = pins
+        layouter = _Layouter(info, model, options, {})
         for name in normalized:
             branch_count = len(graphs[name].branch_tables())
             layouter.layout_handler_unoptimized(ordered_tables[name], branch_count)

@@ -256,6 +256,15 @@ class _GraphBuilder:
                 writes={f"__ev_{stmt.event}"},
             )
         elif isinstance(stmt, NPrim):
+            # Sys.* primitives publish their result through a well-known
+            # metadata field; recording the write gives the copy that reads
+            # it a RAW dependency, so dataflow reordering cannot hoist the
+            # consumer ahead of the producer (or swap two Sys.random draws)
+            writes = (
+                {f"__{stmt.prim.replace('.', '_')}"}
+                if stmt.prim in ("Sys.time", "Sys.self", "Sys.random")
+                else set()
+            )
             table = AtomicTable(
                 uid=uid,
                 name=f"{name}_{stmt.prim.replace(':', '_').replace('.', '_')}_{uid}",
@@ -263,7 +272,7 @@ class _GraphBuilder:
                 handler=self.handler.name,
                 stmt=stmt,
                 reads=set(operand_vars(*stmt.args)),
-                writes=set(),
+                writes=writes,
             )
         else:  # pragma: no cover - defensive
             return None

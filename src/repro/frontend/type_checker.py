@@ -634,7 +634,12 @@ class TypeChecker:
         return EventTy(), effects
 
     def _check_hash(self, expr: ast.ECall, ctx: _BodyContext) -> Tuple[Ty, EffectSummary]:
-        _, effects = self._check_args(expr, ctx)
+        arg_tys, effects = self._check_args(expr, ctx)
+        # hash units fold integer words only: an event or group argument has
+        # no word representation and each engine would fail differently
+        for arg, ty in zip(expr.args, arg_tys):
+            if not isinstance(ty, (IntTy, BoolTy)):
+                raise TypeError_(f"hash arguments must be integers, found {ty}", arg.span)
         width = expr.size_args[0] if expr.size_args else 32
         return IntTy(width), effects
 

@@ -481,7 +481,8 @@ class HandlerCompiler:
                     )
 
             else:
-                wmask = (1 << width) - 1
+                # width <= 0 degenerates to the constant 0, as lucid_hash does
+                wmask = (1 << width) - 1 if width > 0 else 0
 
                 def do_hash(frame, res):
                     return (

@@ -44,13 +44,56 @@ class FreshNames:
 # ---------------------------------------------------------------------------
 # returnify: push trailing statements into branches so returns are tail-only
 # ---------------------------------------------------------------------------
+def _flatten_seqs(stmts: List[ast.Stmt]) -> List[ast.Stmt]:
+    """Splice transparent ``SSeq`` blocks into their parent statement list
+    (the language has no block scoping, so this is semantics-preserving)."""
+    out: List[ast.Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.SSeq):
+            out.extend(_flatten_seqs(stmt.body))
+        else:
+            out.append(stmt)
+    return out
+
+
+def _match_has_wildcard(stmt: ast.SMatch) -> bool:
+    return any(all(v is None for v in pat) for pat, _ in stmt.branches)
+
+
+def _contains_return(stmts: List[ast.Stmt]) -> bool:
+    """True when any path through ``stmts`` contains a return."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.SReturn):
+            return True
+        if isinstance(stmt, ast.SIf):
+            if _contains_return(stmt.then_body) or _contains_return(stmt.else_body):
+                return True
+        if isinstance(stmt, ast.SMatch):
+            if any(_contains_return(body) for _, body in stmt.branches):
+                return True
+        if isinstance(stmt, ast.SSeq):
+            if _contains_return(stmt.body):
+                return True
+    return False
+
+
 def _block_returns(stmts: List[ast.Stmt]) -> bool:
     """True when every path through ``stmts`` ends in a return."""
-    for i, stmt in enumerate(stmts):
+    for stmt in stmts:
         if isinstance(stmt, ast.SReturn):
             return True
         if isinstance(stmt, ast.SIf):
             if _block_returns(stmt.then_body) and _block_returns(stmt.else_body):
+                return True
+        if isinstance(stmt, ast.SMatch):
+            # exhaustive only with a wildcard arm: integer scrutinees can
+            # always miss every literal pattern
+            if _match_has_wildcard(stmt) and all(
+                _block_returns(body) for _, body in stmt.branches
+            ):
+                return True
+        if isinstance(stmt, ast.SSeq):
+            if _block_returns(stmt.body):
                 return True
     return False
 
@@ -59,27 +102,64 @@ def returnify(stmts: List[ast.Stmt]) -> List[ast.Stmt]:
     """Rewrite ``stmts`` so that every ``return`` is in tail position.
 
     ``if (c) { return a; } rest`` becomes ``if (c) { return a; } else { rest }``
-    (the original else branch, if any, also receives ``rest``).
+    — and, crucially, a branch that only returns on *some* of its paths (for
+    example ``if (c) { if (d) { return a; } } rest``) receives ``rest`` and is
+    then returnified again, so the c∧d path does not fall through into a
+    second copy of ``rest``.  ``match`` statements are treated like ``if``:
+    every non-returning arm receives ``rest``, and a wildcard arm is
+    synthesised when the patterns are not exhaustive so the fall-through path
+    still runs ``rest`` exactly once.
     """
+    stmts = _flatten_seqs(stmts)
     result: List[ast.Stmt] = []
     for i, stmt in enumerate(stmts):
-        if isinstance(stmt, ast.SIf):
-            then_body = returnify(stmt.then_body)
-            else_body = returnify(stmt.else_body)
-            rest = returnify(stmts[i + 1 :])
-            then_returns = _block_returns(then_body)
-            else_returns = _block_returns(else_body)
-            if rest and (then_returns or else_returns):
-                if not then_returns:
+        if isinstance(stmt, (ast.SIf, ast.SMatch)) and _contains_return([stmt]):
+            rest = stmts[i + 1 :]
+            if isinstance(stmt, ast.SIf):
+                then_body = stmt.then_body
+                else_body = stmt.else_body
+                if rest and not _block_returns(then_body):
                     then_body = then_body + copy.deepcopy(rest)
-                if not else_returns:
+                if rest and not _block_returns(else_body):
                     else_body = else_body + copy.deepcopy(rest)
                 result.append(
-                    ast.SIf(span=stmt.span, cond=stmt.cond, then_body=then_body, else_body=else_body)
+                    ast.SIf(
+                        span=stmt.span,
+                        cond=stmt.cond,
+                        then_body=returnify(then_body),
+                        else_body=returnify(else_body),
+                    )
                 )
-                return result
+            else:
+                branches = [(list(pat), body) for pat, body in stmt.branches]
+                if rest and not _match_has_wildcard(stmt):
+                    branches.append(([None] * len(stmt.scrutinees), []))
+                new_branches = []
+                for pat, body in branches:
+                    if rest and not _block_returns(body):
+                        body = body + copy.deepcopy(rest)
+                    new_branches.append((pat, returnify(body)))
+                result.append(
+                    ast.SMatch(span=stmt.span, scrutinees=stmt.scrutinees, branches=new_branches)
+                )
+            return result
+        if isinstance(stmt, ast.SIf):
             result.append(
-                ast.SIf(span=stmt.span, cond=stmt.cond, then_body=then_body, else_body=else_body)
+                ast.SIf(
+                    span=stmt.span,
+                    cond=stmt.cond,
+                    then_body=returnify(stmt.then_body),
+                    else_body=returnify(stmt.else_body),
+                )
+            )
+            continue
+        if isinstance(stmt, ast.SMatch):
+            result.append(
+                ast.SMatch(
+                    span=stmt.span,
+                    scrutinees=stmt.scrutinees,
+                    branches=[(list(pat), returnify(body)) for pat, body in stmt.branches],
+                )
             )
             continue
         if isinstance(stmt, ast.SReturn):
@@ -87,6 +167,16 @@ def returnify(stmts: List[ast.Stmt]) -> List[ast.Stmt]:
             return result  # statements after an unconditional return are dead
         result.append(stmt)
     return result
+
+
+def eliminate_returns(stmts: List[ast.Stmt]) -> List[ast.Stmt]:
+    """Rewrite a handler body so no ``return`` statements remain while
+    preserving which statements execute: returnify (every return becomes
+    tail-position) and then drop the bare returns.  Handlers may only use
+    bare ``return;`` (the type checker rejects value returns), so this loses
+    nothing — but without it, normalisation would silently *drop* an early
+    return and let the trailing statements run on the PISA pipeline."""
+    return _replace_returns(returnify(copy.deepcopy(stmts)), None)
 
 
 # ---------------------------------------------------------------------------

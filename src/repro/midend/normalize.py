@@ -21,6 +21,7 @@ table construction.
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
@@ -28,7 +29,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.errors import TypeError_
 from repro.frontend import ast
 from repro.frontend.symbols import ARRAY_METHODS, EVENT_COMBINATORS, ProgramInfo
-from repro.midend.inline import inline_program_functions
+from repro.midend.inline import eliminate_returns, inline_program_functions
 
 
 # ---------------------------------------------------------------------------
@@ -253,6 +254,8 @@ class Normalizer:
                 out.append(NOp(span=expr.span, dst=dst, op=ast.BinOp.EQ, lhs=inner, rhs=Const(0)))
             return Var(dst)
         if isinstance(expr, ast.EBinary):
+            if expr.op in (ast.BinOp.AND, ast.BinOp.OR) and self._has_side_effects(expr.right):
+                return self._short_circuit(expr, out)
             lhs = self.to_operand(expr.left, out)
             rhs = self.to_operand(expr.right, out)
             dst = self.fresh("op")
@@ -266,6 +269,43 @@ class Normalizer:
             self.event_values[name] = self._event_value(expr, out)
             return Var(name)
         raise TypeError_("expression cannot be normalised to an operand", getattr(expr, "span", None))
+
+    def _has_side_effects(self, expr: ast.Expr) -> bool:
+        """True when evaluating ``expr`` mutates observable state: register
+        arrays, the shared PRNG, or an extern.  (``Sys.time``/``Sys.self``
+        only read, so evaluating them unconditionally is unobservable.)"""
+        for sub in ast.walk_expr(expr):
+            if isinstance(sub, ast.ECall) and (
+                sub.func in ARRAY_METHODS
+                or sub.func == "Sys.random"
+                or sub.func in self.info.externs
+            ):
+                return True
+        return False
+
+    def _short_circuit(self, expr: ast.EBinary, out: List[NStmt]) -> Operand:
+        """Lower ``a && b`` / ``a || b`` with the interpreter's short-circuit
+        semantics: the right operand's side effects (array ops, Sys.random)
+        happen only when the left operand does not decide the result.  The
+        strict :func:`repro.ops.apply_binop` forms are observationally
+        identical for pure operands (the common case, which keeps its
+        single-ALU lowering), so this branchier form is emitted only when the
+        right operand has side effects."""
+        lhs = self.to_operand(expr.left, out)
+        dst = self.fresh("bool")
+        branch: List[NStmt] = []
+        rhs = self.to_operand(expr.right, branch)
+        branch.append(NOp(span=expr.span, dst=dst, op=ast.BinOp.NEQ, lhs=rhs, rhs=Const(0)))
+        if expr.op is ast.BinOp.AND:
+            # dst = 0; if (lhs != 0) { dst = (rhs != 0); }
+            out.append(NCopy(span=expr.span, dst=dst, src=Const(0)))
+            cond = NCond(lhs, ast.BinOp.NEQ, Const(0))
+        else:
+            # dst = 1; if (lhs == 0) { dst = (rhs != 0); }
+            out.append(NCopy(span=expr.span, dst=dst, src=Const(1)))
+            cond = NCond(lhs, ast.BinOp.EQ, Const(0))
+        out.append(NIf(span=expr.span, cond=cond, then_body=branch, else_body=[]))
+        return Var(dst)
 
     def _call_to_operand(self, expr: ast.ECall, out: List[NStmt]) -> Operand:
         func = expr.func
@@ -283,8 +323,12 @@ class Normalizer:
             self.event_values[name] = self._combinator_value(expr, out)
             return Var(name)
         if func in ("Sys.time", "Sys.self", "Sys.random"):
+            # Sys.random's optional bound argument must ride along: dropping
+            # it would make the pipeline draw unbounded values while the
+            # interpreters reduce modulo the bound
+            args = [self.to_operand(a, out) for a in expr.args]
             dst = self.fresh(func.split(".")[-1])
-            out.append(NPrim(span=expr.span, prim=func, args=[]))
+            out.append(NPrim(span=expr.span, prim=func, args=args))
             out.append(NCopy(span=expr.span, dst=dst, src=Var(f"__{func.replace('.', '_')}")))
             return Var(dst)
         if func in self.info.externs:
@@ -493,26 +537,13 @@ class Normalizer:
         out: List[NStmt] = []
         scrutinees = [self.to_operand(e, out) for e in stmt.scrutinees]
 
-        def build(branch_idx: int) -> List[NStmt]:
-            if branch_idx >= len(stmt.branches):
-                return []
-            pattern, body = stmt.branches[branch_idx]
-            conds = [
-                NCond(scrutinee, ast.BinOp.EQ, Const(value))
-                for scrutinee, value in zip(scrutinees, pattern)
-                if value is not None
-            ]
-            body_norm = self.normalize_block(body)
-            rest = build(branch_idx + 1)
-            if not conds:
-                return body_norm
-            current = body_norm
-            for cond in reversed(conds):
-                current = [NIf(span=stmt.span, cond=cond, then_body=current, else_body=rest)]
-                rest = []  # only the innermost if carries the else chain
-            return current
-
-        # rebuild with correct else chaining: fold from the last branch backwards
+        # fold from the last branch backwards; an arm matches only when ALL
+        # of its literal patterns hold, so every nested condition level must
+        # fall through to the remaining arm chain, not to an empty else —
+        # otherwise `match (x, y) with | 2, 0 -> A | _, _ -> B` silently runs
+        # neither body when x == 2 but y != 0.  The chain is deep-copied per
+        # level: branch paths are mutually exclusive at runtime, so each copy
+        # can execute at most once per pass.
         chain: List[NStmt] = []
         for pattern, body in reversed(stmt.branches):
             conds = [
@@ -524,11 +555,17 @@ class Normalizer:
             if not conds:
                 chain = body_norm
                 continue
-            cond = conds[0]
-            inner = body_norm
-            for extra in conds[1:]:
-                inner = [NIf(span=stmt.span, cond=extra, then_body=inner, else_body=[])]
-            chain = [NIf(span=stmt.span, cond=cond, then_body=inner, else_body=chain)]
+            current = body_norm
+            for extra in reversed(conds[1:]):
+                current = [
+                    NIf(
+                        span=stmt.span,
+                        cond=extra,
+                        then_body=current,
+                        else_body=copy.deepcopy(chain),
+                    )
+                ]
+            chain = [NIf(span=stmt.span, cond=conds[0], then_body=current, else_body=chain)]
         out.extend(chain)
         return out
 
@@ -539,7 +576,10 @@ class Normalizer:
 def normalize_handler(info: ProgramInfo, handler: ast.DHandler) -> NormalizedHandler:
     """Normalise one (already inlined) handler."""
     normalizer = Normalizer(info, handler.name)
-    body = normalizer.normalize_block(handler.body)
+    # handlers may exit early with a bare `return;` — restructure so the
+    # statements it skips are actually skipped (a pipeline has no "return",
+    # only branches), instead of silently dropping the return
+    body = normalizer.normalize_block(eliminate_returns(handler.body))
     params = [p.name for p in handler.params]
     return NormalizedHandler(name=handler.name, params=params, body=body, event_params=params)
 

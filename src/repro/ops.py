@@ -44,7 +44,12 @@ def mod32(left: int, right: int) -> int:
 def lucid_hash(width: int, args: Sequence[int], seed: int = 0) -> int:
     """The deterministic hash used for ``hash<<w>>(...)`` — a CRC32 over the
     argument words, truncated to ``w`` bits (the Tofino's hash units compute
-    CRC-family hashes)."""
+    CRC-family hashes).
+
+    Degenerate widths are total rather than partial so every engine agrees:
+    ``w >= 32`` keeps the full CRC word, ``w <= 0`` yields 0 (a zero-bit
+    hash has exactly one value), and an empty argument list hashes just the
+    seed word."""
     value = zlib.crc32(
         struct.pack(
             "<%dI" % (len(args) + 1),
@@ -54,6 +59,8 @@ def lucid_hash(width: int, args: Sequence[int], seed: int = 0) -> int:
     )
     if width >= 32:
         return value
+    if width <= 0:
+        return 0
     return value & ((1 << width) - 1)
 
 

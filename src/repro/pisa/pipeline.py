@@ -97,6 +97,13 @@ class PisaPipeline:
         metadata: Dict[str, int] = {
             param.name: int(arg) for param, arg in zip(handler.params, event.args)
         }
+        # table uids are assigned in program order during table construction;
+        # data-flow reordering may run two generate (or printf) tables in
+        # either stage order, but packet generation and the print stream are
+        # observable in program order, so both are re-sorted by originating
+        # table at the end of the pass
+        generate_order: List[int] = []
+        print_order: List[int] = []
         for stage in self.layout.stages:
             stage_executed = 0
             for merged in stage.merged_tables:
@@ -105,11 +112,25 @@ class PisaPipeline:
                         continue
                     if not self._conditions_hold(table, metadata):
                         continue
-                    self._execute_table(table, metadata, result)
+                    self._execute_table(table, metadata, result, generate_order, print_order)
                     stage_executed += 1
             if stage_executed:
                 result.stages_traversed += 1
                 result.tables_executed += stage_executed
+        if len(result.generated) > 1:
+            result.generated = [
+                event
+                for _, event in sorted(
+                    zip(generate_order, result.generated), key=lambda pair: pair[0]
+                )
+            ]
+        if len(result.prints) > 1:
+            result.prints = [
+                line
+                for _, line in sorted(
+                    zip(print_order, result.prints), key=lambda pair: pair[0]
+                )
+            ]
         return result
 
     # -- helpers ------------------------------------------------------------------
@@ -140,7 +161,12 @@ class PisaPipeline:
         return True
 
     def _execute_table(
-        self, table: AtomicTable, metadata: Dict[str, int], result: PipelinePassResult
+        self,
+        table: AtomicTable,
+        metadata: Dict[str, int],
+        result: PipelinePassResult,
+        generate_order: Optional[List[int]] = None,
+        print_order: Optional[List[int]] = None,
     ) -> None:
         stmt = table.stmt
         if isinstance(stmt, NOp):
@@ -155,9 +181,14 @@ class PisaPipeline:
         elif isinstance(stmt, NArrayOp):
             self._execute_array_op(stmt, metadata)
         elif isinstance(stmt, NGenerate):
+            if generate_order is not None:
+                generate_order.append(table.uid)
             self._execute_generate(stmt, metadata, result)
         elif isinstance(stmt, NPrim):
+            before = len(result.prints)
             self._execute_prim(stmt, metadata, result)
+            if print_order is not None:
+                print_order.extend([table.uid] * (len(result.prints) - before))
         else:  # pragma: no cover - defensive
             raise SimulationError(f"cannot execute table {table.name}")
 
@@ -180,8 +211,10 @@ class PisaPipeline:
             metadata["__Sys_self"] = self.switch_id
         elif prim == "Sys.random":
             # advances the shared xorshift state exactly once, like the
-            # interpreter does at the corresponding call site
-            metadata["__Sys_random"] = self.runtime.random()
+            # interpreter does at the corresponding call site; the optional
+            # bound operand reduces the draw exactly as Sys.random(bound) does
+            bound = self._operand_value(stmt.args[0], metadata) if stmt.args else None
+            metadata["__Sys_random"] = self.runtime.random(bound)
         elif prim.startswith("extern:"):
             fn = self.runtime.externs.get(prim.split(":", 1)[1])
             if fn is not None:

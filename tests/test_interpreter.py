@@ -383,3 +383,54 @@ def test_run_until_time_bound_stops_early():
     network.run(until_ns=10_500_000)
     assert 8 <= switch.stats.events_handled <= 12
     assert network.pending_events() == 1
+
+
+# ---------------------------------------------------------------------------
+# hash degenerate widths (w = 0, w > 32, empty argument lists)
+# ---------------------------------------------------------------------------
+def test_hash_zero_width_is_zero():
+    # a zero-bit hash has exactly one value; every engine must agree on it
+    assert lucid_hash(0, [1, 2, 3]) == 0
+    assert lucid_hash(-4, [99]) == 0
+
+
+def test_hash_width_beyond_word_keeps_full_crc():
+    full = lucid_hash(32, [7, 11])
+    assert lucid_hash(33, [7, 11]) == full
+    assert lucid_hash(64, [7, 11]) == full
+    assert 0 <= full <= 0xFFFFFFFF
+
+
+def test_hash_empty_args_hashes_seed_word():
+    assert lucid_hash(32, []) == lucid_hash(32, [], seed=0)
+    assert lucid_hash(32, [], seed=1) != lucid_hash(32, [], seed=2)
+    assert 0 <= lucid_hash(16, []) < 2 ** 16
+
+
+def test_hash_one_bit_width_is_parity_like():
+    for args in ([0], [1], [2, 3], [0xFFFFFFFF]):
+        assert lucid_hash(1, args) in (0, 1)
+
+
+@pytest.mark.parametrize("engine", ["reference", "compiled", "pisa"])
+def test_hash_degenerate_widths_agree_across_engines(engine):
+    source = """
+    global h0 = new Array<<32>>(1);
+    global h1 = new Array<<32>>(1);
+    global hwide = new Array<<32>>(1);
+    global hempty = new Array<<32>>(1);
+    event probe(int x, int y);
+    handle probe(int x, int y) {
+      Array.set(h0, 0, hash<<0>>(x, y));
+      Array.set(h1, 0, hash<<1>>(x, y));
+      Array.set(hwide, 0, hash<<33>>(x, y));
+      Array.set(hempty, 0, hash<<16>>());
+    }
+    """
+    network, switch = single_switch_network(check_program(source), engine=engine)
+    network.inject(0, EventInstance("probe", (12, 345)))
+    network.run()
+    assert switch.array("h0").get(0) == 0
+    assert switch.array("h1").get(0) == lucid_hash(1, [12, 345])
+    assert switch.array("hwide").get(0) == lucid_hash(33, [12, 345])
+    assert switch.array("hempty").get(0) == lucid_hash(16, [])

@@ -1,0 +1,38 @@
+"""Replay of the checked-in fuzz reproducers on every engine.
+
+Each ``tests/regressions/*.json`` file is a minimal reproducer shrunk from a
+real engine divergence the differential fuzzer found (and the fix landed
+for).  Replaying the corpus on all three engines pins the fixes: any
+regression shows up as a divergence in exactly the program shape that broke
+before.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.case import load_case
+from repro.fuzz.diff import run_differential
+from repro.interp.engine import ENGINE_NAMES
+
+REGRESSION_DIR = os.path.join(os.path.dirname(__file__), "regressions")
+CASE_FILES = sorted(glob.glob(os.path.join(REGRESSION_DIR, "*.json")))
+
+
+def test_corpus_is_present():
+    # the corpus must hold at least the reproducers of the originally fixed
+    # engine bugs; an empty directory means the loader is testing nothing
+    assert len(CASE_FILES) >= 3, f"expected >= 3 reproducers in {REGRESSION_DIR}"
+
+
+@pytest.mark.parametrize("path", CASE_FILES, ids=[os.path.basename(p) for p in CASE_FILES])
+def test_regression_case_agrees_on_all_engines(path):
+    case = load_case(path)
+    outcome = run_differential(case, engines=ENGINE_NAMES)
+    assert outcome.ok, outcome.summary()
+    # every engine must actually have executed the workload (a reproducer
+    # whose events no longer exist would vacuously "agree")
+    for engine, result in outcome.results.items():
+        assert result.error is None, f"{engine}: {result.error}"
+        assert result.trace, f"{engine} handled no events for {case.name}"

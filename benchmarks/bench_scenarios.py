@@ -32,6 +32,9 @@ import sys
 from repro.interp.engine import ENGINE_NAMES
 from repro.scenarios import SCENARIOS, run_scenario
 
+#: version of the two JSON report schemas; bump when fields change meaning
+SCHEMA_VERSION = 1
+
 DEFAULT_EVENTS = 20_000
 SMOKE_SCENARIOS = ("heavy-hitter-single", "heavy-hitter-fattree")
 SMOKE_EVENTS = 3_000
@@ -131,6 +134,7 @@ def main(argv=None) -> int:
     if args.engines_out:
         report = {
             "benchmark": "scenario-engines",
+            "schema_version": SCHEMA_VERSION,
             "python": platform.python_version(),
             "events_per_scenario": events,
             "seed": args.seed,
@@ -165,6 +169,7 @@ def main(argv=None) -> int:
         ]
         report = {
             "benchmark": "scenarios",
+            "schema_version": SCHEMA_VERSION,
             "python": platform.python_version(),
             "events_per_scenario": events,
             "seed": args.seed,

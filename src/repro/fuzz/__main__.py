@@ -6,7 +6,11 @@ Modes:
   ``CaseGenerator(--seed)``, run each under all three engines, shrink any
   failure to a minimal reproducer (``--no-shrink`` disables), and write
   reproducers as JSON into ``--out`` (default ``tests/regressions``).
-  Exits non-zero if any case diverged.
+  Exits non-zero if any case diverged.  Each agreeing case is additionally
+  run through the checkpoint/restore mutation: snapshot after a
+  seed-determined number of handled events, JSON round-trip, restore into a
+  fresh network, resume — and every observable (trace, digest, stats, logs)
+  must still match the straight-through run (``--no-checkpoint`` disables).
 * ``--replay PATH...``: re-run saved reproducers (files or directories of
   ``*.json``) instead of generating; exits non-zero if any diverges.  This
   is what the regression loader test and the CI smoke job call.
@@ -20,13 +24,23 @@ import sys
 from typing import List
 
 from repro.fuzz.case import FuzzCase, load_case, save_case
-from repro.fuzz.diff import run_differential
+from repro.fuzz.diff import run_checkpoint_differential, run_differential
 from repro.fuzz.gen import CaseGenerator
 from repro.fuzz.shrink import shrink_case
 
 
 def _still_fails(case: FuzzCase) -> bool:
     return not run_differential(case).ok
+
+
+def _split_for(seed: int, index: int, handled: int) -> int:
+    """Deterministic pseudo-random checkpoint position within the case's
+    handled-event count (xorshift over seed/index, no global RNG state)."""
+    x = (seed * 0x9E3779B1 + index * 0x85EBCA77 + 0x165667B1) & 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x45D9F3B) & 0xFFFFFFFF
+    x ^= x >> 13
+    return 1 + x % max(1, handled)
 
 
 def _collect_cases(paths: List[str]) -> List[str]:
@@ -67,16 +81,36 @@ def _fuzz(args: argparse.Namespace) -> int:
     for index in range(args.count):
         case = generator.generate(index)
         outcome = run_differential(case)
+        checkpoint_split = None
+        if outcome.ok and args.checkpoint:
+            # the checkpoint/restore mutation: interrupt at a seed-determined
+            # point and require identical observables on resume
+            baseline = next(iter(outcome.results.values()))
+            split = _split_for(args.seed, index, len(baseline.trace))
+            ck = run_checkpoint_differential(case, split, straight=outcome)
+            if not ck.ok:
+                checkpoint_split = split
+                outcome = ck
         if outcome.ok:
             if (index + 1) % 25 == 0 or index + 1 == args.count:
                 print(f"{index + 1}/{args.count} cases: all engines agree so far")
             continue
         failures += 1
+        if checkpoint_split is not None:
+            print(f"{case.name}: checkpoint/restore at event {checkpoint_split} diverges")
         print(outcome.summary())
         if args.shrink:
             print(f"shrinking {case.name} ...")
-            case = shrink_case(case, _still_fails, max_evaluations=args.max_shrink_evals)
-            outcome = run_differential(case)
+            if checkpoint_split is None:
+                predicate = _still_fails
+            else:
+                def predicate(c, _split=checkpoint_split):
+                    return not run_checkpoint_differential(c, _split).ok
+            case = shrink_case(case, predicate, max_evaluations=args.max_shrink_evals)
+            if checkpoint_split is None:
+                outcome = run_differential(case)
+            else:
+                outcome = run_checkpoint_differential(case, checkpoint_split)
             print("minimal reproducer:")
             print(case.source)
             print(outcome.summary())
@@ -117,6 +151,19 @@ def main(argv: List[str] = None) -> int:
         type=int,
         default=600,
         help="cap on differential re-runs during shrinking (default 600)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        default=True,
+        help="also run each agreeing case through the checkpoint/restore "
+        "mutation (default: on)",
+    )
+    parser.add_argument(
+        "--no-checkpoint",
+        dest="checkpoint",
+        action="store_false",
+        help="disable the checkpoint/restore mutation",
     )
     parser.add_argument(
         "--out",

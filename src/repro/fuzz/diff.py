@@ -16,6 +16,7 @@ are exactly the ones the paper's "same program, same meaning" claim is about:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -155,6 +156,80 @@ def _compare(base: CaseResult, other: CaseResult, out: List[str]) -> None:
         out.append(f"{tag}: stats differ ({base.stats} != {other.stats})")
     if base.logs != other.logs:
         out.append(f"{tag}: print logs differ ({base.logs} != {other.logs})")
+
+
+def run_case_checkpointed(
+    case: FuzzCase,
+    engine: str,
+    checked: Optional[CheckedProgram] = None,
+    split: int = 1,
+) -> CaseResult:
+    """Execute ``case`` with a snapshot/restore cycle after ``split`` handled
+    events: the first segment's network is snapshotted, the snapshot is
+    pushed through a JSON round-trip (the on-disk checkpoint path), and a
+    *fresh* network finishes the run from the restored state.  All
+    observables — including the handled-event trace, concatenated across the
+    two segments — must equal :func:`run_case`'s."""
+    result = CaseResult(engine=f"{engine}+checkpoint")
+    split = max(0, min(split, MAX_EVENTS_PER_RUN))
+    try:
+        if checked is None:
+            checked = check_program(case.source)
+        network = _build_network(case, engine, checked)
+        for time_ns, switch_id, name, args in case.events:
+            network.inject(switch_id, EventInstance(name=name, args=tuple(args)), at_ns=time_ns)
+        handled = network.run(max_events=split)
+        trace_prefix: List[TraceRow] = [
+            (entry.time_ns, entry.switch_id, entry.event.name, tuple(entry.event.args))
+            for entry in network.trace
+        ]
+        state = json.loads(json.dumps(network.snapshot()))
+        network = _build_network(case, engine, checked)
+        network.restore(state)
+        network.run(max_events=MAX_EVENTS_PER_RUN - handled)
+    except Exception as error:  # noqa: BLE001 - crash capture is the point
+        result.error = f"{type(error).__name__}: {error}"
+        return result
+    result.digest = network_array_digest(network)
+    result.trace = trace_prefix + [
+        (entry.time_ns, entry.switch_id, entry.event.name, tuple(entry.event.args))
+        for entry in network.trace
+    ]
+    for switch_id in sorted(network.switches):
+        switch = network.switches[switch_id]
+        result.stats[switch_id] = {
+            key: getattr(switch.stats, key) for key in _STAT_KEYS
+        }
+        result.logs[switch_id] = list(switch.log)
+    return result
+
+
+def run_checkpoint_differential(
+    case: FuzzCase,
+    split: int,
+    engines: Tuple[str, ...] = ENGINE_NAMES,
+    straight: Optional[DiffOutcome] = None,
+) -> DiffOutcome:
+    """The checkpoint/restore mutation: for every engine, compare the
+    straight-through execution against one interrupted after ``split``
+    handled events, snapshotted through JSON, and resumed on a fresh
+    network.  ``straight`` reuses an existing :func:`run_differential`
+    outcome instead of re-running the baselines."""
+    outcome = DiffOutcome(case=case)
+    try:
+        checked = check_program(case.source)
+    except Exception as error:  # noqa: BLE001
+        outcome.divergences.append(f"frontend rejects the case: {error}")
+        return outcome
+    for engine in engines:
+        if straight is not None and engine in straight.results:
+            base = straight.results[engine]
+        else:
+            base = run_case(case, engine, checked)
+        resumed = run_case_checkpointed(case, engine, checked, split=split)
+        outcome.results[resumed.engine] = resumed
+        _compare(base, resumed, outcome.divergences)
+    return outcome
 
 
 def run_differential(

@@ -99,6 +99,24 @@ class SwitchEngine:
         not model a pipeline (the interpreter engines)."""
         return None
 
+    # -- checkpointing -----------------------------------------------------
+    def snapshot_state(self) -> Optional[Dict[str, object]]:
+        """Engine-side mutable state as a JSON-serialisable dict, or ``None``
+        for engines that keep none (the interpreter engines: all their state
+        lives in the shared :class:`SwitchRuntime`, which the network
+        snapshot captures).  Must round-trip through :meth:`restore_state`
+        so a restored run is byte-identical to an uninterrupted one."""
+        return None
+
+    def restore_state(self, state: Optional[Dict[str, object]]) -> None:
+        """Restore the state produced by :meth:`snapshot_state`.  Engines
+        without checkpoint support must refuse non-empty state rather than
+        silently resuming wrong."""
+        if state:
+            raise SimulationError(
+                f"engine '{self.name}' does not support restoring engine state"
+            )
+
 
 class ReferenceEngine(SwitchEngine):
     """Tree-walking AST interpretation (the semantic baseline)."""
@@ -234,6 +252,36 @@ class PisaEngine(SwitchEngine):
         self.recirculated_events = 0
         self.queue_depth = 0
         self.peak_queue_depth = 0
+
+    # -- checkpointing -----------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "stages_traversed": self.stages_traversed,
+            "max_stages_traversed": self.max_stages_traversed,
+            "tables_executed": self.tables_executed,
+            "recirculated_events": self.recirculated_events,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "recirc_port_packets": self.port.packets,
+            "recirc_port_bytes": self.port.bytes,
+        }
+
+    def restore_state(self, state: Optional[Dict[str, object]]) -> None:
+        if not state:
+            raise SimulationError(
+                "pisa engine restore requires the engine state captured by "
+                "snapshot_state (got none)"
+            )
+        self.events = state["events"]
+        self.stages_traversed = state["stages_traversed"]
+        self.max_stages_traversed = state["max_stages_traversed"]
+        self.tables_executed = state["tables_executed"]
+        self.recirculated_events = state["recirculated_events"]
+        self.queue_depth = state["queue_depth"]
+        self.peak_queue_depth = state["peak_queue_depth"]
+        self.port.packets = state["recirc_port_packets"]
+        self.port.bytes = state["recirc_port_bytes"]
 
     def pipeline_stats(self, duration_ns: int = 0) -> Dict[str, object]:
         stats: Dict[str, object] = {

@@ -65,6 +65,32 @@ class EventInstance:
         raw = 14 + 13 + 4 * len(self.args)
         return max(64, raw)
 
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable value form (everything except ``serial``, which
+        is allocation order, not part of the event's value) — the wire format
+        of checkpoints (:meth:`repro.interp.network.Network.snapshot`)."""
+        return {
+            "name": self.name,
+            "args": list(self.args),
+            "delay_ns": self.delay_ns,
+            "location": self.location,
+            "group": list(self.group) if self.group is not None else None,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EventInstance":
+        group = data.get("group")
+        return cls(
+            name=data["name"],
+            args=tuple(data.get("args", ())),
+            delay_ns=data.get("delay_ns", 0),
+            location=data.get("location", LOCAL),
+            group=tuple(group) if group is not None else None,
+            source=data.get("source"),
+        )
+
     def describe(self) -> str:
         where = "local"
         if self.group is not None:

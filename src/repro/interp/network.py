@@ -135,6 +135,12 @@ CONTROL = -2
 #: ``(time_ns, CONTROL, fn)`` for a control action
 SourceItem = Tuple[int, int, Union[EventInstance, Callable[["Network"], None]]]
 
+#: format tag and version of :meth:`Network.snapshot` values; bump the
+#: version whenever a field is added/changed so stale checkpoints are
+#: refused instead of silently misread
+SNAPSHOT_FORMAT = "repro-network-snapshot"
+SNAPSHOT_VERSION = 1
+
 
 @dataclass
 class TraceEntry:
@@ -170,6 +176,9 @@ class Network:
         self.trace: List[TraceEntry] = []
         self.trace_enabled = True
         self.on_handle: Optional[Callable[[TraceEntry], None]] = None
+        #: the streaming source of the last interrupted :meth:`run`, if it
+        #: was left partially consumed (guards :meth:`reset`, see there)
+        self._partial_source: Optional[Iterable[SourceItem]] = None
 
     @property
     def fast_path(self) -> bool:
@@ -509,8 +518,18 @@ class Network:
                 if self.on_handle is not None:
                     self.on_handle(entry)
         if pending is not None:
-            # interrupted with an item in hand: re-queue it instead of losing it
-            self._push(max(pending[0], self.now_ns), pending[1], pending[2])
+            # interrupted with an item in hand: give it back to sources that
+            # support it (keeps source-vs-heap tie-breaking identical when the
+            # run resumes — a checkpoint/restore requirement), otherwise
+            # re-queue it so it is not lost
+            push_back = getattr(source, "push_back", None)
+            if push_back is not None:
+                push_back(pending)
+            else:
+                self._push(max(pending[0], self.now_ns), pending[1], pending[2])
+        # remember a partially consumed source so reset() cannot silently
+        # replay the same stream from a mid-stream cursor
+        self._partial_source = None if (exhausted and pending is None) else source
         if until_ns is not None:
             self.now_ns = max(self.now_ns, until_ns)
         return handled
@@ -518,8 +537,170 @@ class Network:
     def pending_events(self) -> int:
         return len(self._queue)
 
+    # -- checkpointing -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Capture the full simulation state as a JSON-serialisable dict.
+
+        The snapshot is a *versioned value*: clock, scheduler serial, the
+        event heap (in its exact internal order, so future pops are
+        byte-identical), link failures, and — per switch — array cells,
+        read/write counters, the runtime clock and PRNG state, scheduler
+        stats, print logs, and any engine-side accounting
+        (:meth:`SwitchEngine.snapshot_state`).  It does **not** capture the
+        topology, programs, or compiled engines — :meth:`restore` expects an
+        identically constructed network — nor the :attr:`trace` (checkpoints
+        are for trace-free long runs) or an in-flight streaming source
+        (stream cursors are the caller's to checkpoint; see
+        ``repro.service``).
+
+        Raises :class:`SimulationError` if the heap holds a CONTROL action:
+        control callables are code, not serialisable state.  (Streaming
+        sources that support ``push_back`` — the service-mode path — never
+        leave CONTROL entries in the heap.)
+        """
+        queue = []
+        for time_ns, serial, switch_id, event in self._queue:
+            if switch_id == CONTROL:
+                raise SimulationError(
+                    "cannot snapshot: the event heap holds a CONTROL action "
+                    "(a Python callable).  Drain it first, or stream control "
+                    "actions through a push_back-capable source."
+                )
+            queue.append([time_ns, serial, switch_id, event.to_dict()])
+        switches: Dict[str, Dict[str, object]] = {}
+        for sid in sorted(self.switches):
+            sw = self.switches[sid]
+            stats = sw.stats
+            entry: Dict[str, object] = {
+                "engine": sw.engine_name,
+                "time_ns": sw.runtime.time_ns,
+                "random_state": sw.runtime.random_state,
+                "arrays": {
+                    name: {
+                        "cells": list(arr.cells),
+                        "reads": arr.reads,
+                        "writes": arr.writes,
+                    }
+                    for name, arr in sw.runtime.arrays.items()
+                },
+                "stats": {
+                    "events_handled": stats.events_handled,
+                    "events_generated": stats.events_generated,
+                    "recirculations": stats.recirculations,
+                    "recirculated_bytes": stats.recirculated_bytes,
+                    "remote_sends": stats.remote_sends,
+                    "drops": stats.drops,
+                    "link_drops": stats.link_drops,
+                    "recirc_drops": stats.recirc_drops,
+                    "handled_by_event": dict(stats.handled_by_event),
+                },
+                "log": list(sw.log),
+            }
+            engine_state = sw.engine.snapshot_state()
+            if engine_state is not None:
+                entry["engine_state"] = engine_state
+            switches[str(sid)] = entry
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "now_ns": self.now_ns,
+            "serial": self._serial,
+            "queue": queue,
+            "down_links": [[a, b, count] for (a, b), count in sorted(self._down_links.items())],
+            "switches": switches,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Load a :meth:`snapshot` into this network.
+
+        The network must have been constructed identically to the one that
+        was snapshotted — same switch ids running the same programs on the
+        same engines (topology and code are rebuilt by the caller, state is
+        restored here).  Mismatched switch sets, engine names, or array
+        shapes are refused.  The determinism guarantee: restore + resume
+        produces byte-identical array digests, stats, and event order to the
+        uninterrupted run — pinned by ``tests/test_service.py`` and the CI
+        soak job across all three engines.
+        """
+        if state.get("format") != SNAPSHOT_FORMAT:
+            raise SimulationError(
+                f"not a network snapshot (format={state.get('format')!r})"
+            )
+        if state.get("version") != SNAPSHOT_VERSION:
+            raise SimulationError(
+                f"unsupported snapshot version {state.get('version')!r} "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        snap_ids = {int(sid) for sid in state["switches"]}
+        if snap_ids != set(self.switches):
+            raise SimulationError(
+                f"snapshot switch set {sorted(snap_ids)} does not match this "
+                f"network's {sorted(self.switches)}"
+            )
+        # validate everything before mutating anything, so a failed restore
+        # leaves the network untouched
+        for sid_key, sw_state in state["switches"].items():
+            sw = self.switches[int(sid_key)]
+            if sw_state["engine"] != sw.engine_name:
+                raise SimulationError(
+                    f"switch {sid_key}: snapshot engine '{sw_state['engine']}' "
+                    f"!= this network's '{sw.engine_name}'"
+                )
+            snap_arrays = sw_state["arrays"]
+            if set(snap_arrays) != set(sw.runtime.arrays):
+                raise SimulationError(
+                    f"switch {sid_key}: snapshot arrays {sorted(snap_arrays)} "
+                    f"do not match the program's {sorted(sw.runtime.arrays)}"
+                )
+            for name, arr_state in snap_arrays.items():
+                arr = sw.runtime.arrays[name]
+                if len(arr_state["cells"]) != arr.size:
+                    raise SimulationError(
+                        f"switch {sid_key}: array '{name}' has {arr.size} "
+                        f"cells but the snapshot holds {len(arr_state['cells'])}"
+                    )
+        self.now_ns = state["now_ns"]
+        self._serial = state["serial"]
+        # the stored list is the heap's exact internal order — restoring it
+        # verbatim keeps the pop sequence identical (serials are unique, so
+        # comparisons never reach the event objects)
+        self._queue = [
+            (time_ns, serial, switch_id, EventInstance.from_dict(event))
+            for time_ns, serial, switch_id, event in state["queue"]
+        ]
+        self._down_links = {
+            (a, b): count for a, b, count in state.get("down_links", [])
+        }
+        self.trace.clear()
+        self._partial_source = None
+        for sid_key, sw_state in state["switches"].items():
+            sw = self.switches[int(sid_key)]
+            sw.runtime.time_ns = sw_state["time_ns"]
+            sw.runtime.random_state = sw_state["random_state"]
+            for name, arr_state in sw_state["arrays"].items():
+                arr = sw.runtime.arrays[name]
+                # replace the cells list (compiled closures hold the
+                # RuntimeArray object, not the list, so this is safe)
+                arr.cells = list(arr_state["cells"])
+                arr.reads = arr_state["reads"]
+                arr.writes = arr_state["writes"]
+            stats = sw_state["stats"]
+            sw.stats = SwitchStats(
+                events_handled=stats["events_handled"],
+                events_generated=stats["events_generated"],
+                recirculations=stats["recirculations"],
+                recirculated_bytes=stats["recirculated_bytes"],
+                remote_sends=stats["remote_sends"],
+                drops=stats["drops"],
+                link_drops=stats["link_drops"],
+                recirc_drops=stats["recirc_drops"],
+                handled_by_event=dict(stats["handled_by_event"]),
+            )
+            sw.log[:] = sw_state["log"]
+            sw.engine.restore_state(sw_state.get("engine_state"))
+
     # -- reuse -------------------------------------------------------------------
-    def reset(self, arrays: bool = True) -> None:
+    def reset(self, arrays: bool = True, drop_source: bool = False) -> None:
         """Reset all simulation state so the same topology (switches, links,
         compiled programs) can be reused for another run from time zero.
 
@@ -530,7 +711,31 @@ class Network:
         objects, not their cells.  Without ``reset()``, consecutive
         :meth:`run` calls *accumulate*: stats, traces, and array state carry
         over (see ``tests/test_scenarios.py``).
+
+        **Streaming sources do not rewind.**  If the last streaming
+        :meth:`run` was interrupted (``max_events``/``until_ns``) and left its
+        ``source=`` partially consumed, re-running that source after a reset
+        would silently replay from the mid-stream cursor — time-zero network
+        state fed with mid-stream traffic.  ``reset()`` therefore refuses,
+        unless the source exposes a ``rewind()`` re-seed hook (e.g.
+        :class:`repro.service.source.ReplayableSource` built from a factory),
+        which is called so the next run replays from the beginning, or
+        ``drop_source=True`` explicitly abandons the cursor (the caller keeps
+        using the source at its own risk, e.g. to hand the remainder to a
+        different network).
         """
+        if self._partial_source is not None:
+            source, self._partial_source = self._partial_source, None
+            if not drop_source:
+                rewind = getattr(source, "rewind", None)
+                if rewind is None:
+                    raise SimulationError(
+                        "reset() while the last streaming run left its source "
+                        "partially consumed: re-running it would replay from a "
+                        "mid-stream cursor.  Pass drop_source=True to abandon "
+                        "the cursor, or use a source with a rewind() hook."
+                    )
+                rewind()
         self.now_ns = 0
         self._queue.clear()
         self._serial = 0

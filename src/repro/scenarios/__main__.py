@@ -7,6 +7,14 @@
                                   [--engine reference|compiled|pisa]
                                   [--all-engines | --both]
                                   [--json PATH] [--quiet]
+    python -m repro.scenarios serve <name> [--events N | --unbounded]
+                                  [--seed S] [--engine E]
+                                  [--checkpoint-dir DIR] [--checkpoint-every N]
+                                  [--telemetry PATH] [--telemetry-every N]
+                                  [--chunk N] [--keep N] [--max-events N]
+                                  [--fresh]
+    python -m repro.scenarios soak [<name> ...] [--events N] [--seed S]
+                                  [--engine E] [--checkpoint-at N] [--json PATH]
 
 ``--engine`` selects the execution engine (default ``compiled``);
 ``--all-engines`` runs reference, compiled, AND the PISA pipeline engine and
@@ -14,6 +22,18 @@ requires identical invariant verdicts and final array digests across all
 three (``--both`` is the older two-engine form).  ``run`` exits 0 when every
 invariant held (and, with ``--both``/``--all-engines``, when the engines
 agreed); 1 otherwise.
+
+``serve`` runs the scenario as a long-lived process: traffic streams in
+bounded chunks, JSON-lines telemetry goes to ``--telemetry`` (stderr by
+default), rolling checkpoints land in ``--checkpoint-dir``, SIGTERM/SIGINT
+stop cleanly after writing a checkpoint, and a restarted serve resumes from
+the newest checkpoint (``--fresh`` ignores it).  Exit code: 0 when stopped
+mid-stream or finished with all invariants holding, 1 on violations.
+
+``soak`` is the checkpoint/restore determinism gate: for each named
+scenario (default: all) it runs straight-through AND interrupted+resumed at
+``--checkpoint-at`` handled events (default: half), and exits non-zero
+unless both runs agree on every deterministic field.
 """
 
 from __future__ import annotations
@@ -76,6 +96,99 @@ def _print_result(result: ScenarioResult, quiet: bool) -> None:
             print(f"  {key}: {value}")
 
 
+def _serve(args) -> int:
+    # imported here: the service layer is only needed by this subcommand
+    from repro.service.server import (
+        UNBOUNDED_EVENTS,
+        ScenarioService,
+        ServiceConfig,
+    )
+
+    try:
+        scenario = get(args.name)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    telemetry_stream = None
+    telemetry_file = None
+    if args.telemetry and args.telemetry != "-":
+        telemetry_file = open(args.telemetry, "a")
+        telemetry_stream = telemetry_file
+    config = ServiceConfig(
+        engine=args.engine,
+        seed=args.seed,
+        events=UNBOUNDED_EVENTS if args.unbounded else args.events,
+        checkpoint_dir=args.checkpoint_dir or None,
+        checkpoint_every=args.checkpoint_every,
+        keep_checkpoints=args.keep,
+        telemetry_every=args.telemetry_every,
+        chunk_events=args.chunk,
+        max_events=args.max_events,
+        resume=not args.fresh,
+        telemetry_stream=telemetry_stream,
+    )
+    service = ScenarioService(scenario, config)
+    service.install_signal_handlers()
+    try:
+        outcome = service.run()
+    finally:
+        if telemetry_file is not None:
+            telemetry_file.close()
+    if outcome.resumed_from:
+        print(f"resumed from {outcome.resumed_from}")
+    if outcome.stopped:
+        print(
+            f"[{args.engine}] {scenario.name}: stopped after "
+            f"{outcome.handled} handled events"
+            + (f", checkpoint {outcome.checkpoint_path}" if outcome.checkpoint_path else "")
+        )
+        return 0
+    _print_result(outcome.result, quiet=False)
+    if outcome.checkpoint_path:
+        print(f"final checkpoint: {outcome.checkpoint_path}")
+    return 0 if outcome.result.ok else 1
+
+
+def _soak(args) -> int:
+    from repro.service.server import soak_compare
+
+    names = args.names or sorted(SCENARIOS)
+    comparisons = []
+    failures = 0
+    for name in names:
+        try:
+            scenario = get(name)
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+        cmp = soak_compare(
+            scenario, args.events, args.seed,
+            engine=args.engine, checkpoint_after=args.checkpoint_at,
+        )
+        comparisons.append(cmp)
+        status = "match" if cmp["match"] else "MISMATCH"
+        verdict = "ok" if cmp["ok"] else "violations"
+        print(
+            f"[{cmp['engine']}] {name}: {status} — interrupted+resumed vs "
+            f"straight-through at {cmp['events']} events "
+            f"(checkpoint at {cmp['checkpoint_after']}), digest "
+            f"{cmp['array_digest']}, {verdict}"
+        )
+        if not cmp["match"]:
+            failures += 1
+            for line in cmp["mismatches"]:
+                print(f"    {line}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(comparisons, fh, indent=2)
+        print(f"wrote {args.json}")
+    print(
+        f"soak: {len(comparisons) - failures}/{len(comparisons)} scenarios "
+        f"deterministic under checkpoint/restore"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenarios", description=__doc__
@@ -106,11 +219,67 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="also write the result(s) as JSON to PATH")
     run_parser.add_argument("--quiet", action="store_true",
                             help="suppress violation messages and details")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run one scenario as a checkpointed long-lived service"
+    )
+    serve_parser.add_argument("name", help="scenario name (see 'list')")
+    events = serve_parser.add_mutually_exclusive_group()
+    events.add_argument("--events", type=int, default=1_000_000,
+                        help="traffic events to stream (default 1000000)")
+    events.add_argument("--unbounded", action="store_true",
+                        help="stream traffic until stopped (SIGTERM/SIGINT)")
+    serve_parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    serve_parser.add_argument("--engine", choices=ENGINE_NAMES, default="compiled",
+                              help="execution engine (default: compiled)")
+    serve_parser.add_argument("--checkpoint-dir", type=str, default="",
+                              help="directory for rolling checkpoints "
+                              "(no checkpointing when omitted)")
+    serve_parser.add_argument("--checkpoint-every", type=int, default=200_000,
+                              help="handled events between checkpoints "
+                              "(default 200000)")
+    serve_parser.add_argument("--keep", type=int, default=3,
+                              help="rolling checkpoints to retain (default 3)")
+    serve_parser.add_argument("--telemetry", type=str, default="",
+                              help="append JSONL telemetry to PATH "
+                              "('-' or omitted: stderr)")
+    serve_parser.add_argument("--telemetry-every", type=int, default=25_000,
+                              help="handled events between telemetry records "
+                              "(default 25000)")
+    serve_parser.add_argument("--chunk", type=int, default=5_000,
+                              help="handled events per scheduler chunk — the "
+                              "signal/checkpoint granularity (default 5000)")
+    serve_parser.add_argument("--max-events", type=int, default=None,
+                              help="stop (with a checkpoint) after N handled "
+                              "events; for bounded soaks and tests")
+    serve_parser.add_argument("--fresh", action="store_true",
+                              help="ignore existing checkpoints instead of "
+                              "resuming from the newest one")
+
+    soak_parser = sub.add_parser(
+        "soak", help="assert interrupted+resumed runs match straight-through runs"
+    )
+    soak_parser.add_argument("names", nargs="*",
+                             help="scenario names (default: all bundled)")
+    soak_parser.add_argument("--events", type=int, default=20_000,
+                             help="traffic events per scenario (default 20000)")
+    soak_parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    soak_parser.add_argument("--engine", choices=ENGINE_NAMES, default=None,
+                             help="execution engine (default: compiled)")
+    soak_parser.add_argument("--checkpoint-at", type=int, default=None,
+                             help="handled events before the checkpoint "
+                             "(default: half of --events)")
+    soak_parser.add_argument("--json", type=str, default="",
+                             help="also write the comparisons as JSON to PATH")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         _print_listing()
         return 0
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "soak":
+        return _soak(args)
 
     try:
         scenario = get(args.name)

@@ -1,9 +1,20 @@
-"""Invariant checks the scenario runner evaluates against a finished run.
+"""Invariant checks, evaluated at end-of-run *or incrementally mid-stream.
 
-An invariant either observes every handled event (``observes() == True``, fed
-through ``Network.on_handle``) or inspects final state only (arrays, stats,
-logs) — state-only invariants keep the batched trace-free drain, which is
-what lets million-event scenarios run at full speed.
+Every invariant exposes the streaming pair the service mode needs:
+``observe(entry)`` is called per handled event (only for invariants that
+need it — state-only invariants keep the batched trace-free drain, which is
+what lets million-event scenarios run at full speed), and ``check(network)``
+may be called **at any inter-event point**, not just at quiescence.
+Invariants whose check is only meaningful once the network has settled
+(in-flight sync or routing updates would trip them spuriously) set
+``streaming = False`` and are skipped by mid-run evaluation
+(``evaluate(..., streaming_only=True)``); their verdict comes from the final
+end-of-run evaluation as before.
+
+Observation-based invariants carry state (seen flows, recorded violations),
+so they also implement ``snapshot_state()``/``restore_state()`` — the
+checkpoint/restore contract of :mod:`repro.service`: a run resumed from a
+checkpoint must reach the same verdicts as the uninterrupted run.
 
 ``make_invariant`` resolves the invariant names that applications advertise
 (:attr:`repro.apps.base.Application.invariants`) to fresh instances; scenario
@@ -15,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import SimulationError
 from repro.interp.interpreter import lucid_hash
 from repro.interp.network import Network, TraceEntry
 
@@ -24,22 +36,39 @@ MAX_VIOLATIONS = 8
 
 class Invariant:
     """Base class: subclass and override ``check`` (and optionally
-    ``on_handle`` + ``observes``)."""
+    ``observe`` + ``snapshot_state``/``restore_state``)."""
 
     name = "invariant"
 
+    #: whether ``check`` is meaningful between any two handled events
+    #: (streaming evaluation); ``False`` restricts it to end-of-run, after
+    #: the settle horizon, because in-flight control traffic would trip it
+    streaming = True
+
     def observes(self) -> bool:
         """Whether this invariant needs to see every handled event."""
-        return type(self).on_handle is not Invariant.on_handle
+        cls = type(self)
+        return (
+            cls.observe is not Invariant.observe
+            or cls.on_handle is not Invariant.on_handle
+        )
 
     def reset(self, network: Network, topology) -> None:
-        """Called once before the run starts."""
+        """Called once before the run starts (and again, to re-bind network
+        references, before ``restore_state`` when resuming a checkpoint)."""
+
+    def observe(self, entry: TraceEntry) -> None:
+        """Called for every handled event (only when ``observes()``) — the
+        streaming observation hook."""
 
     def on_handle(self, entry: TraceEntry) -> None:
-        """Called for every handled event (only when ``observes()``)."""
+        """Deprecated alias of :meth:`observe` (the pre-service-mode name);
+        still dispatched for subclasses that override it."""
+        self.observe(entry)
 
     def check(self, network: Network) -> List[str]:
-        """Return violation messages (empty when the invariant holds)."""
+        """Return violation messages (empty when the invariant holds).  Safe
+        to call between any two handled events when ``streaming`` is true."""
         return []
 
     def violation_count(self) -> Optional[int]:
@@ -47,6 +76,21 @@ class Invariant:
         (observation-based invariants cap the messages they keep but count
         every violation).  ``None`` means ``len(check(...))`` is exact."""
         return None
+
+    # -- checkpointing -----------------------------------------------------
+    def snapshot_state(self) -> Optional[Dict[str, object]]:
+        """Internal observation state as a JSON-serialisable dict, or
+        ``None`` for stateless invariants.  Observation-based invariants
+        must implement this (checkpointing refuses otherwise — losing their
+        state would silently change verdicts on resume)."""
+        return None
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore the state of :meth:`snapshot_state`.  Called after
+        :meth:`reset` has re-bound network/topology references."""
+        raise NotImplementedError(
+            f"invariant '{self.name}' does not implement restore_state"
+        )
 
 
 @dataclass
@@ -59,9 +103,21 @@ class InvariantReport:
     messages: List[str] = field(default_factory=list)
 
 
-def evaluate(invariants: Sequence[Invariant], network: Network) -> List[InvariantReport]:
+def evaluate(
+    invariants: Sequence[Invariant],
+    network: Network,
+    streaming_only: bool = False,
+) -> List[InvariantReport]:
+    """Evaluate invariants against the network's current state.
+
+    With ``streaming_only=True`` (the mid-run/service path) invariants whose
+    ``streaming`` flag is false are skipped — their check is only meaningful
+    after the settle horizon — so the returned list covers the streaming
+    subset only."""
     reports = []
     for inv in invariants:
+        if streaming_only and not inv.streaming:
+            continue
         messages = inv.check(network)
         count = inv.violation_count()
         if count is None:
@@ -75,6 +131,67 @@ def evaluate(invariants: Sequence[Invariant], network: Network) -> List[Invarian
             )
         )
     return reports
+
+
+def observer_callback(
+    invariants: Sequence[Invariant],
+) -> Optional[Callable[[TraceEntry], None]]:
+    """Build the ``Network.on_handle`` callback feeding every observing
+    invariant (or ``None`` when no invariant observes) — shared by the batch
+    runner and the service mode so the wiring cannot drift.  Dispatches to
+    ``observe`` directly, falling back to a legacy ``on_handle`` override."""
+    callbacks = []
+    for inv in invariants:
+        if not inv.observes():
+            continue
+        if type(inv).observe is not Invariant.observe:
+            callbacks.append(inv.observe)
+        else:
+            callbacks.append(inv.on_handle)
+    if not callbacks:
+        return None
+    if len(callbacks) == 1:
+        return callbacks[0]
+
+    def on_handle(entry: TraceEntry, _callbacks=tuple(callbacks)) -> None:
+        for callback in _callbacks:
+            callback(entry)
+
+    return on_handle
+
+
+def capture_invariant_states(
+    invariants: Sequence[Invariant],
+) -> List[Optional[Dict[str, object]]]:
+    """Snapshot every invariant's observation state, index-aligned with the
+    input.  Observation-based invariants without checkpoint support are
+    refused: resuming them with empty state would silently change verdicts."""
+    states: List[Optional[Dict[str, object]]] = []
+    for inv in invariants:
+        state = inv.snapshot_state()
+        if state is None and inv.observes():
+            raise SimulationError(
+                f"invariant '{inv.name}' observes events but does not "
+                f"implement snapshot_state(); it cannot be checkpointed"
+            )
+        states.append(state)
+    return states
+
+
+def restore_invariant_states(
+    invariants: Sequence[Invariant],
+    states: Sequence[Optional[Dict[str, object]]],
+) -> None:
+    """Restore states captured by :func:`capture_invariant_states` (call
+    each invariant's ``reset`` first to re-bind network references)."""
+    if len(states) != len(invariants):
+        raise SimulationError(
+            f"checkpoint holds {len(states)} invariant states but the "
+            f"scenario built {len(invariants)} invariants"
+        )
+    for inv, state in zip(invariants, states):
+        if state is not None:
+            inv.restore_state(state)
 
 
 # ---------------------------------------------------------------------------
@@ -102,7 +219,7 @@ class FirewallSolicitedOnly(Invariant):
         self._violations.clear()
         self._count = 0
 
-    def on_handle(self, entry: TraceEntry) -> None:
+    def observe(self, entry: TraceEntry) -> None:
         event = entry.event
         if event.name == self.out_event:
             self._outbound.add((event.args[0], event.args[1]))
@@ -121,6 +238,18 @@ class FirewallSolicitedOnly(Invariant):
 
     def violation_count(self) -> Optional[int]:
         return self._count
+
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "outbound": sorted(list(pair) for pair in self._outbound),
+            "violations": list(self._violations),
+            "count": self._count,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._outbound = {(a, b) for a, b in state["outbound"]}
+        self._violations = list(state["violations"])
+        self._count = state["count"]
 
 
 class NatMappingsBijective(Invariant):
@@ -260,6 +389,9 @@ class SketchOverestimates(Invariant):
     Ground truth comes from the traffic model's per-switch counters."""
 
     name = "sketch-overestimates"
+    #: ground truth counts packets at *emission*; an emitted-but-unhandled
+    #: packet would make the sketch look low mid-run
+    streaming = False
 
     def __init__(self, traffic, rows=(("row_a", 5), ("row_b", 211)), width: int = 10):
         self.traffic = traffic
@@ -294,6 +426,8 @@ class RipConverged(Invariant):
     is a neighbour that is one hop closer."""
 
     name = "rip-converged"
+    #: convergence is an end-state property; mid-run distances are in flux
+    streaming = False
 
     def __init__(self, dest: int = 0, infinity: int = 1_048_576):
         self.dest = dest
@@ -342,6 +476,9 @@ class RerouteRecovers(Invariant):
     the failure control action."""
 
     name = "reroute-recovers"
+    #: right after a failure no packet has been rerouted yet — only the
+    #: settled network can be held to "at least one packet rerouted"
+    streaming = False
 
     def __init__(self, tolerance_ns: int = 50_000, data_event: str = "data_pkt"):
         self.tolerance_ns = tolerance_ns
@@ -360,7 +497,21 @@ class RerouteRecovers(Invariant):
     def announce_failure(self, time_ns: int, switch_id: int, dead_peer: int) -> None:
         self._failures.append((time_ns, switch_id, dead_peer))
 
-    def on_handle(self, entry: TraceEntry) -> None:
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "failures": [list(f) for f in self._failures],
+            "violations": list(self._violations),
+            "late_count": self._late_count,
+            "forwarded_after": self._forwarded_after,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._failures = [tuple(f) for f in state["failures"]]
+        self._violations = list(state["violations"])
+        self._late_count = state["late_count"]
+        self._forwarded_after = state["forwarded_after"]
+
+    def observe(self, entry: TraceEntry) -> None:
         if entry.event.name != self.data_event:
             return
         port = entry.result.forwarded_port
@@ -402,6 +553,9 @@ class RerouteRecovers(Invariant):
 class ReplicasConsistent(Invariant):
     """At quiescence, the named arrays are identical on every (replica)
     switch — distributed synchronisation delivered every update."""
+
+    #: replicas legitimately diverge while sync events are in flight
+    streaming = False
 
     def __init__(self, arrays: Sequence[str], switches: Optional[Sequence[int]] = None,
                  name: str = "replicas-consistent"):

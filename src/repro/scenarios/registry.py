@@ -172,6 +172,9 @@ class DataPlaneBeatsRemote(Invariant):
     through :meth:`RemoteController.install_stream` over the same flows."""
 
     name = "dataplane-beats-remote"
+    #: recent flows legitimately have installs still in flight mid-run, and
+    #: they would be charged the full remaining run
+    streaming = False
 
     def __init__(self, traffic: tm.FirewallFlowTraffic, seed: int = 0xC0FFEE):
         self.traffic = traffic
@@ -199,7 +202,7 @@ class DataPlaneBeatsRemote(Invariant):
         h2 = lucid_hash(10, [key, 1295981879]) % keys2.size
         return keys1.cells[h1] == key or keys2.cells[h2] == key or stash.cells[0] == key
 
-    def on_handle(self, entry) -> None:
+    def observe(self, entry) -> None:
         event = entry.event
         if event.name == "pkt_out":
             key = self._flow_key(event.args[0], event.args[1])
@@ -209,6 +212,12 @@ class DataPlaneBeatsRemote(Invariant):
             return
         if key not in self._installed and self._is_installed(key):
             self._installed[key] = entry.time_ns
+
+    def snapshot_state(self) -> Dict[str, object]:
+        return {"installed": [[key, t] for key, t in self._installed.items()]}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._installed = {key: t for key, t in state["installed"]}
 
     def check(self, network: Network) -> List[str]:
         flows = sorted(self.traffic.first_packet_ns.items(), key=lambda kv: kv[1])

@@ -19,12 +19,18 @@ import struct
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.interp.engine import ENGINE_NAMES, resolve_engine_name
-from repro.interp.network import CONTROL, Network, SourceItem
-from repro.scenarios.invariants import Invariant, InvariantReport, evaluate
+from repro.interp.network import Network, SourceItem
+from repro.scenarios.invariants import (
+    Invariant,
+    InvariantReport,
+    evaluate,
+    observer_callback,
+)
 from repro.scenarios.topology import Topology
+from repro.service.source import ReplayableSource
 
 
 @dataclass
@@ -108,22 +114,10 @@ class ScenarioResult:
         }
 
 
-class _SourceTracker:
-    """Wraps a streaming source: counts injected events and remembers the
-    last timestamp, without buffering anything."""
-
-    def __init__(self, items: Iterable[SourceItem]):
-        self._items = iter(items)
-        self.injected = 0
-        self.last_ns = 0
-
-    def __iter__(self) -> Iterator[SourceItem]:
-        for item in self._items:
-            if item[1] != CONTROL:
-                self.injected += 1
-            if item[0] > self.last_ns:
-                self.last_ns = item[0]
-            yield item
+#: the runner's source wrapper is the service-mode replayable cursor (the
+#: old name is kept as an alias); it still counts injected events and the
+#: last timestamp without buffering anything
+_SourceTracker = ReplayableSource
 
 
 def network_array_digest(network: Network) -> str:
@@ -165,33 +159,41 @@ def _aggregate_pipeline_totals(network: Network) -> Dict[str, object]:
     return totals
 
 
-def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
-              fast_path: Optional[bool] = None,
-              engine: Optional[str] = None) -> ScenarioResult:
-    """Execute one prepared scenario on one engine (``engine=`` names it;
-    ``fast_path=`` remains as the deprecated boolean alias)."""
-    engine_name = resolve_engine_name(engine, fast_path)
+def prepare_run(setup: ScenarioSetup, engine_name: str) -> Tuple[Network, ReplayableSource]:
+    """Build the network, preload state, reset + wire the invariants, and
+    wrap the traffic stream in a replayable cursor — everything up to (but
+    not including) the first handled event.  Shared by the batch runner and
+    the service mode (:mod:`repro.service.server`), which restores a
+    checkpoint into the returned network instead of running from scratch."""
     network = setup.make_network(engine_name)
     if setup.prepare is not None:
         setup.prepare(network)
     for inv in setup.invariants:
         inv.reset(network, setup.topology)
-    observers = [inv for inv in setup.invariants if inv.observes()]
     network.trace_enabled = False
-    if observers:
-        if len(observers) == 1:
-            network.on_handle = observers[0].on_handle
-        else:
-            def on_handle(entry, _observers=tuple(observers)):
-                for obs in _observers:
-                    obs.on_handle(entry)
-            network.on_handle = on_handle
-    tracker = _SourceTracker(setup.traffic())
-    start = time.perf_counter()
-    handled = network.run(source=tracker)
-    horizon = max(tracker.last_ns, network.now_ns) + setup.settle_ns
-    handled += network.run(until_ns=horizon)
-    wall = time.perf_counter() - start
+    network.on_handle = observer_callback(setup.invariants)
+    return network, ReplayableSource(setup.traffic)
+
+
+def settle_horizon(setup: ScenarioSetup, network: Network, source: ReplayableSource) -> int:
+    """The simulated time up to which the network is drained after the
+    traffic stream ends, so in-flight control events complete before final
+    verdicts (self-perpetuating control loops are bounded by it)."""
+    return max(source.last_ns, network.now_ns) + setup.settle_ns
+
+
+def build_result(
+    setup: ScenarioSetup,
+    scenario_name: str,
+    seed: int,
+    engine_name: str,
+    network: Network,
+    events_injected: int,
+    events_handled: int,
+    wall_s: float,
+) -> ScenarioResult:
+    """Evaluate the invariants and assemble the :class:`ScenarioResult` for
+    a finished (streamed + settled) network."""
     reports = evaluate(setup.invariants, network)
     stats: Dict[int, Dict[str, object]] = {}
     for sid, sw in network.switches.items():
@@ -214,16 +216,33 @@ def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
         scenario=scenario_name,
         engine=engine_name,
         seed=seed,
-        events_injected=tracker.injected,
-        events_handled=handled,
+        events_injected=events_injected,
+        events_handled=events_handled,
         sim_ns=network.now_ns,
-        wall_s=wall,
-        events_per_sec=handled / wall if wall > 0 else 0.0,
+        wall_s=wall_s,
+        events_per_sec=events_handled / wall_s if wall_s > 0 else 0.0,
         invariants=reports,
         switch_stats=stats,
         array_digest=network_array_digest(network),
         details=details,
         pipeline_totals=_aggregate_pipeline_totals(network),
+    )
+
+
+def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
+              fast_path: Optional[bool] = None,
+              engine: Optional[str] = None) -> ScenarioResult:
+    """Execute one prepared scenario on one engine (``engine=`` names it;
+    ``fast_path=`` remains as the deprecated boolean alias)."""
+    engine_name = resolve_engine_name(engine, fast_path)
+    network, source = prepare_run(setup, engine_name)
+    start = time.perf_counter()
+    handled = network.run(source=source)
+    handled += network.run(until_ns=settle_horizon(setup, network, source))
+    wall = time.perf_counter() - start
+    return build_result(
+        setup, scenario_name, seed, engine_name, network,
+        events_injected=source.injected, events_handled=handled, wall_s=wall,
     )
 
 

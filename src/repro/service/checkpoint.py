@@ -1,0 +1,111 @@
+"""The on-disk checkpoint store of the service mode.
+
+A service checkpoint is one JSON document wrapping everything a resumed run
+needs, under a versioned envelope:
+
+.. code-block:: text
+
+    {
+      "format":   "repro-service-checkpoint",
+      "version":  1,
+      "scenario": "...", "engine": "...", "seed": ..., "events": ...,
+      "handled":  <events handled so far>,
+      "cursor":   {"consumed": ..., "injected": ..., "last_ns": ...},
+      "network":  <Network.snapshot() — itself versioned>,
+      "invariants": [<per-invariant observation state or null>, ...]
+    }
+
+Files are named ``checkpoint-<handled, zero-padded>.json`` so lexicographic
+order is progress order, written atomically (temp file + ``os.replace``) so
+a SIGKILL mid-write never leaves a truncated latest checkpoint, and pruned
+to the ``keep`` most recent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import SimulationError
+
+CHECKPOINT_FORMAT = "repro-service-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def validate_checkpoint(state: Dict[str, object]) -> Dict[str, object]:
+    """Check the envelope of a loaded checkpoint; returns it for chaining."""
+    if state.get("format") != CHECKPOINT_FORMAT:
+        raise SimulationError(
+            f"not a service checkpoint (format={state.get('format')!r})"
+        )
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise SimulationError(
+            f"unsupported checkpoint version {state.get('version')!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    missing = [
+        key
+        for key in ("scenario", "engine", "seed", "handled", "cursor", "network", "invariants")
+        if key not in state
+    ]
+    if missing:
+        raise SimulationError(f"checkpoint is missing fields: {missing}")
+    return state
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, object]:
+    """Read and validate one checkpoint file."""
+    with open(path) as fh:
+        return validate_checkpoint(json.load(fh))
+
+
+class CheckpointStore:
+    """A directory of rolling checkpoints for one service run."""
+
+    def __init__(self, directory: Union[str, Path], keep: int = 3):
+        self.directory = Path(directory)
+        if keep < 1:
+            raise SimulationError(f"keep must be >= 1 (got {keep})")
+        self.keep = keep
+
+    def paths(self) -> List[Path]:
+        """All checkpoint files, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("checkpoint-*.json"))
+
+    def latest(self) -> Optional[Path]:
+        paths = self.paths()
+        return paths[-1] if paths else None
+
+    def save(self, state: Dict[str, object]) -> Path:
+        """Atomically write ``state`` as the newest checkpoint and prune old
+        ones.  The filename encodes ``state["handled"]`` so progress order is
+        filename order."""
+        validate_checkpoint(state)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"checkpoint-{int(state['handled']):015d}.json"
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(state, fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.prune()
+        return path
+
+    def load(self, path: Optional[Union[str, Path]] = None) -> Dict[str, object]:
+        """Load ``path``, or the latest checkpoint when not given."""
+        if path is None:
+            path = self.latest()
+            if path is None:
+                raise SimulationError(f"no checkpoints in {self.directory}")
+        return load_checkpoint(path)
+
+    def prune(self) -> None:
+        """Delete all but the ``keep`` newest checkpoints."""
+        paths = self.paths()
+        for stale in paths[: max(0, len(paths) - self.keep)]:
+            stale.unlink(missing_ok=True)

@@ -1,0 +1,113 @@
+"""Rolling telemetry for service-mode runs: one JSON object per line.
+
+Every record carries ``schema_version`` (bump it when fields change
+meaning) and a ``phase``:
+
+* ``"run"`` — periodic mid-stream sample;
+* ``"checkpoint"`` — emitted right after a checkpoint is written (carries
+  its path);
+* ``"settle"`` — the post-stream drain before final verdicts;
+* ``"final"`` — the last record, with the end-of-run invariant verdicts.
+
+Fields (schema version 1): ``t_wall_s`` (seconds since the emitter
+started), ``sim_ns``, ``events_handled``, ``events_injected``,
+``events_per_sec`` (handled per wall second since the previous record),
+``pending_events``, scheduler totals (``recirculations``,
+``recirc_bytes``, ``drops``, ``link_drops``, ``recirc_drops``,
+``remote_sends``), queue depths for pipeline-modelling engines
+(``queue_depth``, ``peak_queue_depth``) and — when an invariant evaluation
+accompanied the sample — ``invariants``: ``[{name, ok, violations}, ...]``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, TextIO
+
+from repro.interp.network import Network
+from repro.scenarios.invariants import InvariantReport
+
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class TelemetryEmitter:
+    """Writes telemetry records to a line-oriented stream."""
+
+    def __init__(self, stream: TextIO, scenario: str, engine: str, seed: int):
+        self._stream = stream
+        self.scenario = scenario
+        self.engine = engine
+        self.seed = seed
+        self._start = time.perf_counter()
+        self._last_wall = self._start
+        self._last_handled = 0
+        self.records_emitted = 0
+
+    def emit(
+        self,
+        network: Network,
+        handled_total: int,
+        injected_total: int,
+        phase: str = "run",
+        invariants: Optional[Sequence[InvariantReport]] = None,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Sample the network and write one record; returns the record."""
+        now = time.perf_counter()
+        dt = now - self._last_wall
+        rate = (handled_total - self._last_handled) / dt if dt > 0 else 0.0
+        totals = network.total_stats()
+        record: Dict[str, object] = {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "seed": self.seed,
+            "phase": phase,
+            "t_wall_s": round(now - self._start, 3),
+            "sim_ns": network.now_ns,
+            "events_handled": handled_total,
+            "events_injected": injected_total,
+            "events_per_sec": round(rate, 1),
+            "pending_events": network.pending_events(),
+            "recirculations": totals.recirculations,
+            "recirc_bytes": totals.recirculated_bytes,
+            "remote_sends": totals.remote_sends,
+            "drops": totals.drops,
+            "link_drops": totals.link_drops,
+            "recirc_drops": totals.recirc_drops,
+        }
+        depths = _queue_depths(network)
+        if depths is not None:
+            record.update(depths)
+        if invariants is not None:
+            record["invariants"] = [
+                {"name": r.name, "ok": r.ok, "violations": r.violations}
+                for r in invariants
+            ]
+        if extra:
+            record.update(extra)
+        self._stream.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._stream.flush()
+        self._last_wall = now
+        self._last_handled = handled_total
+        self.records_emitted += 1
+        return record
+
+
+def _queue_depths(network: Network) -> Optional[Dict[str, int]]:
+    """Summed current / max peak recirculation-queue depth across the
+    switches whose engines model a pipeline (``None`` when none do)."""
+    depth = 0
+    peak = 0
+    found = False
+    for switch in network.switches.values():
+        stats = switch.engine.pipeline_stats(duration_ns=network.now_ns)
+        if stats is None:
+            continue
+        found = True
+        depth += int(stats.get("queue_depth", 0))
+        peak = max(peak, int(stats.get("peak_queue_depth", 0)))
+    if not found:
+        return None
+    return {"queue_depth": depth, "peak_queue_depth": peak}

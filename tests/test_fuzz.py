@@ -107,6 +107,43 @@ def test_small_fuzz_batch_has_no_divergence():
         assert outcome.ok, outcome.summary()
 
 
+def test_checkpoint_differential_agrees_on_generated_cases():
+    """The checkpoint/restore mutation: interrupt each case mid-run, JSON
+    round-trip the snapshot, restore into a fresh network, resume — every
+    observable must still match the straight-through run on all engines."""
+    from repro.fuzz.diff import run_case_checkpointed, run_checkpoint_differential
+
+    generator = CaseGenerator(seed=6)
+    for index in range(4):
+        case = generator.generate(index)
+        straight = run_differential(case)
+        assert straight.ok, straight.summary()
+        handled = len(next(iter(straight.results.values())).trace)
+        split = max(1, handled // 2)
+        outcome = run_checkpoint_differential(case, split, straight=straight)
+        assert outcome.ok, outcome.summary()
+        # checkpointed observables equal the straight run's, engine by engine
+        for engine, base in straight.results.items():
+            ck = outcome.results[f"{engine}+checkpoint"]
+            assert ck.error is None
+            assert ck.digest == base.digest
+            assert ck.trace == base.trace
+
+
+def test_checkpoint_differential_split_positions_are_all_safe():
+    """Any split point — 0, mid, past the end — must be a no-op mutation."""
+    from repro.fuzz.diff import run_case, run_case_checkpointed
+
+    case = FuzzCase(source=COUNTER, events=[(0, 0, "tick", (1, 4))])
+    base = run_case(case, "compiled")
+    for split in (0, 1, 3, 10_000):
+        ck = run_case_checkpointed(case, "compiled", split=split)
+        assert ck.error is None, ck.error
+        assert ck.digest == base.digest
+        assert ck.trace == base.trace
+        assert ck.stats == base.stats
+
+
 # ---------------------------------------------------------------------------
 # shrinker
 # ---------------------------------------------------------------------------

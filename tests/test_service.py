@@ -1,0 +1,514 @@
+"""Service-mode tests: snapshot/restore determinism, the replayable traffic
+cursor, the on-disk checkpoint store, streaming invariants, telemetry, and
+the serve loop (including resume and SIGTERM shutdown).
+
+The load-bearing contract: a run interrupted *anywhere* — any engine, any
+scenario, mid-stream, with the checkpoint pushed through the JSON on-disk
+format — and resumed into freshly built objects must be byte-identical to
+the uninterrupted run in every deterministic observable."""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.interp.engine import ENGINE_NAMES
+from repro.interp.events import EventInstance
+from repro.interp.network import CONTROL, Network, SNAPSHOT_VERSION
+from repro.scenarios import SCENARIOS, run_scenario
+from repro.scenarios.invariants import (
+    Invariant,
+    capture_invariant_states,
+    evaluate,
+    restore_invariant_states,
+)
+from repro.scenarios.runner import network_array_digest
+from repro.service.checkpoint import CheckpointStore, load_checkpoint
+from repro.service.server import (
+    ScenarioService,
+    ServiceConfig,
+    run_scenario_interrupted,
+    soak_compare,
+)
+from repro.service.source import ReplayableSource
+from repro.service.telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryEmitter
+
+RELAY = """
+global hits = new Array<<32>>(8);
+memop plus(int stored, int x) { return stored + x; }
+event pkt(int idx, int hops);
+handle pkt(int idx, int hops) {
+  Array.set(hits, idx, plus, 1);
+  if (hops > 0) {
+    generate Event.locate(pkt(idx, hops - 1), (SELF + 1) % 3);
+  }
+}
+"""
+
+
+def _result_fingerprint(result):
+    """Every deterministic field of a ScenarioResult (wall-clock excluded)."""
+    return (
+        result.verdict_signature(),
+        result.events_injected,
+        result.events_handled,
+        result.sim_ns,
+        result.switch_stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the determinism contract, across the whole catalogue
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_interrupted_run_matches_straight_run(name):
+    """Checkpoint mid-run (JSON round-trip), restore into a fresh network +
+    traffic stream + invariants, resume — identical result."""
+    straight = run_scenario(SCENARIOS[name], 700, 3, engine="compiled")
+    resumed = run_scenario_interrupted(
+        SCENARIOS[name], 700, 3, engine="compiled", checkpoint_after=300
+    )
+    assert _result_fingerprint(resumed) == _result_fingerprint(straight)
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+@pytest.mark.parametrize(
+    "name", ["heavy-hitter-single", "rip-line-convergence", "reroute-leafspine-linkfail"]
+)
+def test_interrupted_run_matches_on_every_engine(name, engine):
+    """Engine heterogeneity of the snapshot itself: the PISA engine carries
+    extra queue/stage accounting, the interpreters none — all three must
+    round-trip.  (Scenarios with delayed events, link-failure CONTROL
+    actions, and self-perpetuating advertisement loops included.)"""
+    cmp = soak_compare(SCENARIOS[name], 700, 3, engine=engine, checkpoint_after=250)
+    assert cmp["match"], cmp["mismatches"]
+
+
+def test_checkpoint_at_stream_exhaustion_resumes_cleanly():
+    """A checkpoint taken exactly when the source runs dry must not send the
+    resumed run into a full drain (self-perpetuating control loops would
+    never return); it goes straight to the settle phase."""
+    name = "rip-line-convergence"
+    straight = run_scenario(SCENARIOS[name], 300, 3, engine="compiled")
+    resumed = run_scenario_interrupted(
+        SCENARIOS[name], 300, 3, engine="compiled", checkpoint_after=10**9
+    )
+    assert _result_fingerprint(resumed) == _result_fingerprint(straight)
+
+
+# ---------------------------------------------------------------------------
+# Network.snapshot / Network.restore
+# ---------------------------------------------------------------------------
+def _relay_network():
+    network = Network()
+    for sid, engine in enumerate(["reference", "compiled", "pisa"]):
+        network.add_switch(sid, RELAY, engine=engine)
+    for sid in range(3):
+        network.add_link(sid, (sid + 1) % 3)
+    for i in range(30):
+        network.inject(i % 3, EventInstance("pkt", (i % 8, 5)), at_ns=i * 1_000)
+    return network
+
+
+def test_heterogeneous_network_snapshot_roundtrip_mid_run():
+    """A mixed reference/compiled/pisa network checkpointed mid-run (pending
+    heap events, engine-side queue accounting) restores into a fresh mixed
+    network and finishes identically to the uninterrupted original."""
+    interrupted = _relay_network()
+    interrupted.run(max_events=40)
+    assert interrupted.pending_events() > 0
+    state = json.loads(json.dumps(interrupted.snapshot()))
+
+    fresh = _relay_network()
+    fresh._queue.clear()  # restore replaces the pre-injected queue anyway
+    fresh.restore(state)
+    fresh.run()
+
+    straight = _relay_network()
+    straight.run()
+    assert network_array_digest(fresh) == network_array_digest(straight)
+    assert fresh.now_ns == straight.now_ns
+    for sid in range(3):
+        assert fresh.switches[sid].stats == straight.switches[sid].stats
+    assert fresh.stats() == straight.stats()
+
+
+def test_snapshot_refuses_control_actions_in_heap():
+    network = _relay_network()
+    network._push(50, CONTROL, lambda net: None)
+    with pytest.raises(SimulationError, match="CONTROL"):
+        network.snapshot()
+
+
+def test_restore_validates_before_mutating():
+    network = _relay_network()
+    network.run(max_events=10)
+    good = network.snapshot()
+
+    with pytest.raises(SimulationError, match="not a network snapshot"):
+        network.restore({"format": "something-else"})
+    with pytest.raises(SimulationError, match="version"):
+        network.restore({**good, "version": SNAPSHOT_VERSION + 1})
+
+    missing_switch = json.loads(json.dumps(good))
+    del missing_switch["switches"]["2"]
+    with pytest.raises(SimulationError, match="switch set"):
+        network.restore(missing_switch)
+
+    wrong_engine = json.loads(json.dumps(good))
+    wrong_engine["switches"]["0"]["engine"] = "pisa"
+    with pytest.raises(SimulationError, match="engine"):
+        network.restore(wrong_engine)
+
+    wrong_shape = json.loads(json.dumps(good))
+    wrong_shape["switches"]["1"]["arrays"]["hits"]["cells"] = [0, 0]
+    with pytest.raises(SimulationError, match="cells"):
+        network.restore(wrong_shape)
+
+    # none of the failed restores touched the network
+    assert network.snapshot() == good
+
+
+def test_interpreter_engines_refuse_foreign_engine_state():
+    network = Network(engine="compiled")
+    network.add_switch(0, RELAY)
+    with pytest.raises(SimulationError):
+        network.switches[0].engine.restore_state({"events": 3})
+
+
+# ---------------------------------------------------------------------------
+# Network.reset vs partially consumed streaming sources
+# ---------------------------------------------------------------------------
+def _plain_stream(n=100):
+    for i in range(n):
+        yield (i * 1_000, 0, EventInstance("pkt", (i % 8, 0)))
+
+
+def test_reset_refuses_partially_consumed_source():
+    network = Network()
+    network.add_switch(0, RELAY)
+    network.run(source=_plain_stream(), max_events=5)
+    with pytest.raises(SimulationError, match="partially consumed"):
+        network.reset()
+    # the refusal is not sticky: drop the cursor explicitly and reset works
+    network.run(source=_plain_stream(), max_events=5)
+    network.reset(drop_source=True)
+    assert network.now_ns == 0 and network.pending_events() == 0
+
+
+def test_reset_rewinds_replayable_source():
+    network = Network()
+    network.add_switch(0, RELAY)
+    source = ReplayableSource(lambda: _plain_stream(40))
+    network.run(source=source, max_events=5)
+    network.reset()  # rewind() hook: no error, cursor back to zero
+    assert source.consumed == 0
+    handled = network.run(source=source)
+    assert handled == 40  # the full stream again, not the remainder
+
+
+def test_exhausted_source_does_not_block_reset():
+    network = Network()
+    network.add_switch(0, RELAY)
+    network.run(source=_plain_stream(10))
+    network.reset()  # fully consumed: nothing to guard
+
+
+# ---------------------------------------------------------------------------
+# ReplayableSource
+# ---------------------------------------------------------------------------
+def test_replayable_source_counts_and_skips():
+    items = lambda: _plain_stream(20)  # noqa: E731
+    a = ReplayableSource(items)
+    consumed = [next(a) for _ in range(7)]
+    assert a.consumed == 7 and a.injected == 7 and a.last_ns == 6_000
+    cursor = a.cursor()
+
+    b = ReplayableSource(items).skip(cursor["consumed"])
+    assert b.cursor() == cursor
+    assert next(b) == next(a)  # identical remainders
+
+
+def test_replayable_source_push_back_excluded_from_cursor():
+    a = ReplayableSource(lambda: _plain_stream(5))
+    next(a)
+    held = next(a)
+    a.push_back(held)
+    assert a.cursor()["consumed"] == 1  # the held item is not yet delivered
+    assert next(a) is held  # re-delivered, not re-counted
+    assert a.cursor()["consumed"] == 2
+    assert a.peek() is not None and not a.exhausted
+
+
+def test_replayable_source_control_items_not_injected():
+    def stream():
+        yield (0, 0, EventInstance("pkt", (0, 0)))
+        yield (5, CONTROL, lambda net: None)
+        yield (9, 0, EventInstance("pkt", (1, 0)))
+
+    src = ReplayableSource(stream)
+    list(src)
+    assert src.consumed == 3 and src.injected == 2 and src.last_ns == 9
+    assert src.exhausted
+
+
+def test_replayable_source_errors():
+    bare = ReplayableSource(_plain_stream(3))
+    with pytest.raises(SimulationError, match="cannot rewind"):
+        bare.rewind()
+    with pytest.raises(SimulationError, match="ended after"):
+        ReplayableSource(lambda: _plain_stream(3)).skip(10)
+    used = ReplayableSource(lambda: _plain_stream(3))
+    next(used)
+    with pytest.raises(SimulationError, match="freshly built"):
+        used.skip(1)
+
+
+# ---------------------------------------------------------------------------
+# CheckpointStore
+# ---------------------------------------------------------------------------
+def _dummy_checkpoint(handled):
+    return {
+        "format": "repro-service-checkpoint",
+        "version": 1,
+        "scenario": "s",
+        "engine": "compiled",
+        "seed": 1,
+        "events": 100,
+        "handled": handled,
+        "cursor": {"consumed": handled, "injected": handled, "last_ns": handled},
+        "network": {},
+        "invariants": [],
+    }
+
+
+def test_checkpoint_store_rolls_and_prunes(tmp_path):
+    store = CheckpointStore(tmp_path / "ck", keep=2)
+    assert store.latest() is None
+    for handled in (10, 200, 35, 4000):
+        store.save(_dummy_checkpoint(handled))
+    names = [p.name for p in store.paths()]
+    assert len(names) == 2  # pruned to keep=2
+    assert store.latest().name.endswith(f"{4000:015d}.json")
+    assert store.load()["handled"] == 4000
+    assert not list((tmp_path / "ck").glob("*.tmp"))  # atomic writes
+
+
+def test_checkpoint_store_validates(tmp_path):
+    store = CheckpointStore(tmp_path, keep=1)
+    with pytest.raises(SimulationError, match="not a service checkpoint"):
+        store.save({"format": "nope"})
+    bad = tmp_path / "checkpoint-bad.json"
+    bad.write_text(json.dumps({"format": "repro-service-checkpoint", "version": 99}))
+    with pytest.raises(SimulationError, match="version"):
+        load_checkpoint(bad)
+    incomplete = dict(_dummy_checkpoint(1))
+    del incomplete["cursor"]
+    with pytest.raises(SimulationError, match="missing"):
+        store.save(incomplete)
+
+
+# ---------------------------------------------------------------------------
+# streaming invariants
+# ---------------------------------------------------------------------------
+def test_streaming_only_evaluation_skips_settle_invariants():
+    scenario = SCENARIOS["rip-line-convergence"]
+    setup = scenario.build(200, 1)
+    # rip-converged is settle-only: mid-run distances are legitimately in flux
+    assert any(not inv.streaming for inv in setup.invariants)
+    network = setup.make_network("compiled")
+    if setup.prepare is not None:
+        setup.prepare(network)
+    for inv in setup.invariants:
+        inv.reset(network, setup.topology)
+    streaming = evaluate(setup.invariants, network, streaming_only=True)
+    full = evaluate(setup.invariants, network)
+    assert len(streaming) < len(full)
+
+
+def test_observing_invariant_without_snapshot_support_is_refused():
+    class Watcher(Invariant):
+        name = "watcher"
+
+        def observe(self, entry):
+            pass
+
+    with pytest.raises(SimulationError, match="snapshot_state"):
+        capture_invariant_states([Watcher()])
+
+
+def test_restore_invariant_states_length_checked():
+    with pytest.raises(SimulationError, match="invariant states"):
+        restore_invariant_states([Invariant()], [None, None])
+
+
+def test_legacy_on_handle_subclasses_still_observe():
+    class Legacy(Invariant):
+        name = "legacy"
+
+        def __init__(self):
+            self.seen = 0
+
+        def on_handle(self, entry):  # pre-service-mode hook name
+            self.seen += 1
+
+    inv = Legacy()
+    assert inv.observes()
+    network = Network()
+    network.add_switch(0, RELAY)
+    network.on_handle = inv.on_handle
+    network.inject(0, EventInstance("pkt", (0, 0)), at_ns=0)
+    network.run()
+    assert inv.seen == 1
+
+
+# ---------------------------------------------------------------------------
+# telemetry
+# ---------------------------------------------------------------------------
+def test_telemetry_emitter_schema():
+    network = Network(engine="pisa")
+    network.add_switch(0, RELAY)
+    network.inject(0, EventInstance("pkt", (0, 3)), at_ns=0)
+    network.run()
+    out = io.StringIO()
+    emitter = TelemetryEmitter(out, "relay", "pisa", seed=1)
+    emitter.emit(network, handled_total=4, injected_total=1, phase="run")
+    emitter.emit(network, handled_total=4, injected_total=1, phase="final",
+                 invariants=[], extra={"ok": True})
+    lines = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert len(lines) == 2
+    for record in lines:
+        assert record["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert record["scenario"] == "relay"
+        assert record["events_handled"] == 4
+        # the pisa switch reports queue depths
+        assert "peak_queue_depth" in record
+    assert lines[0]["phase"] == "run"
+    assert lines[1]["phase"] == "final" and lines[1]["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# the serve loop
+# ---------------------------------------------------------------------------
+def test_service_stop_resume_matches_batch_run(tmp_path):
+    """A service stopped mid-stream (max_events), then a second service
+    resuming from its on-disk checkpoint, must finish with the exact result
+    of the one-shot batch runner."""
+    scenario = SCENARIOS["nat-churn"]
+    ck = str(tmp_path / "ck")
+
+    def config(**overrides):
+        return ServiceConfig(
+            engine="compiled", seed=5, events=2_000, checkpoint_dir=ck,
+            checkpoint_every=600, telemetry_every=500, chunk_events=150,
+            telemetry_stream=io.StringIO(), **overrides,
+        )
+
+    first = ScenarioService(scenario, config(max_events=900)).run()
+    assert first.stopped and first.checkpoint_path is not None
+    assert first.result is None
+
+    second = ScenarioService(scenario, config()).run()
+    assert not second.stopped
+    assert second.resumed_from is not None
+    straight = run_scenario(scenario, 2_000, 5, engine="compiled")
+    assert _result_fingerprint(second.result) == _result_fingerprint(straight)
+
+
+def test_service_telemetry_and_rolling_checkpoints(tmp_path):
+    scenario = SCENARIOS["heavy-hitter-single"]
+    telemetry = io.StringIO()
+    config = ServiceConfig(
+        engine="compiled", seed=1, events=3_000, checkpoint_dir=str(tmp_path),
+        checkpoint_every=800, keep_checkpoints=2, telemetry_every=600,
+        chunk_events=200, telemetry_stream=telemetry,
+    )
+    outcome = ScenarioService(scenario, config).run()
+    assert outcome.result is not None and outcome.result.ok
+    records = [json.loads(line) for line in telemetry.getvalue().splitlines()]
+    phases = {r["phase"] for r in records}
+    assert {"run", "checkpoint", "settle", "final"} <= phases
+    assert all(r["schema_version"] == TELEMETRY_SCHEMA_VERSION for r in records)
+    # mid-run records carry streaming invariant verdicts
+    assert any("invariants" in r for r in records if r["phase"] == "run")
+    # rolling: pruned to keep=2
+    assert len(list(tmp_path.glob("checkpoint-*.json"))) == 2
+
+
+def test_service_refuses_mismatched_checkpoint(tmp_path):
+    scenario = SCENARIOS["heavy-hitter-single"]
+    base = dict(
+        engine="compiled", events=1_000, checkpoint_dir=str(tmp_path),
+        checkpoint_every=300, chunk_events=100, telemetry_stream=io.StringIO(),
+    )
+    ScenarioService(scenario, ServiceConfig(seed=1, max_events=400, **base)).run()
+    with pytest.raises(SimulationError, match="seed"):
+        ScenarioService(scenario, ServiceConfig(seed=2, **base)).run()
+
+
+def test_service_request_stop_checkpoints_mid_stream(tmp_path):
+    """request_stop() (the SIGTERM handler) ends the loop at the next chunk
+    boundary with a valid, loadable checkpoint."""
+    scenario = SCENARIOS["heavy-hitter-single"]
+    config = ServiceConfig(
+        engine="compiled", seed=1, events=50_000, checkpoint_dir=str(tmp_path),
+        checkpoint_every=10**9, chunk_events=100, telemetry_stream=io.StringIO(),
+    )
+    service = ScenarioService(scenario, config)
+    original_run = Network.run
+    calls = []
+
+    def counting_run(self, *args, **kwargs):
+        calls.append(1)
+        if len(calls) == 4:
+            service.request_stop()  # as the signal handler would
+        return original_run(self, *args, **kwargs)
+
+    Network.run = counting_run
+    try:
+        outcome = service.run()
+    finally:
+        Network.run = original_run
+    assert outcome.stopped
+    state = load_checkpoint(outcome.checkpoint_path)
+    assert state["handled"] == outcome.handled > 0
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGTERM"), reason="needs SIGTERM")
+def test_serve_cli_sigterm_writes_checkpoint_and_resumes(tmp_path):
+    """End to end through the CLI and a real signal: serve an unbounded
+    stream, SIGTERM it, assert clean exit + checkpoint, then resume."""
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ, PYTHONPATH=os.path.join(repo, "src"))
+    ck = str(tmp_path / "ck")
+    cmd = [
+        sys.executable, "-m", "repro.scenarios", "serve", "heavy-hitter-single",
+        "--unbounded", "--checkpoint-dir", ck, "--chunk", "500",
+        "--checkpoint-every", "2000", "--telemetry-every", "2000",
+    ]
+    proc = subprocess.Popen(
+        cmd, env=env, cwd=repo,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    time.sleep(2.0)
+    proc.send_signal(signal.SIGTERM)
+    stdout, _ = proc.communicate(timeout=60)
+    assert proc.returncode == 0, stdout
+    assert "stopped after" in stdout
+    checkpoints = sorted(os.listdir(ck))
+    assert checkpoints, "no checkpoint written on SIGTERM"
+    state = load_checkpoint(os.path.join(ck, checkpoints[-1]))
+    assert state["scenario"] == "heavy-hitter-single"
+
+    resume = subprocess.run(
+        cmd + ["--max-events", str(state["handled"] + 1_000)],
+        env=env, cwd=repo, capture_output=True, text=True, timeout=60,
+    )
+    assert resume.returncode == 0, resume.stdout + resume.stderr
+    assert "resumed from" in resume.stdout

@@ -8,7 +8,7 @@ by: (a) no optimisation at all, (b) merging without data-flow reordering, and
 
 from repro.backend import MergeOptions, build_layout
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 
 def _ablation_rows(compiled_apps):
@@ -34,6 +34,7 @@ def _ablation_rows(compiled_apps):
 def test_ablation_merge(benchmark, compiled_apps):
     rows = benchmark(_ablation_rows, compiled_apps)
     print_table("Ablation: layout optimisations", rows)
+    report_rows("ablation_merge", rows, engine="pisa", benchmark=benchmark)
     # The merge-only column shares the greedy placer but keeps program order,
     # so it is informational; the guaranteed relations are full <= no_opt and
     # a strict improvement for most applications.

@@ -8,7 +8,7 @@ printed alongside for comparison.
 
 from repro.apps import ALL_APPLICATIONS
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 
 def _figure9_rows(compiled_apps):
@@ -33,6 +33,7 @@ def _figure9_rows(compiled_apps):
 def test_fig09_applications(benchmark, compiled_apps):
     rows = benchmark(_figure9_rows, compiled_apps)
     print_table("Figure 9: applications (measured vs paper)", rows)
+    report_rows("fig09_applications", rows, engine="pisa", benchmark=benchmark)
     # shape checks: Lucid is much smaller than P4, and every app fits a
     # plausible number of stages
     assert all(r["loc_ratio"] >= 5 for r in rows)

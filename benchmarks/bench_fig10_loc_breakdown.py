@@ -7,7 +7,7 @@ is often smaller than the register actions alone.
 
 from repro.analysis.loc import breakdown_for_compiled
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 
 def _figure10_rows(compiled_apps):
@@ -17,6 +17,7 @@ def _figure10_rows(compiled_apps):
 def test_fig10_loc_breakdown(benchmark, compiled_apps):
     rows = benchmark(_figure10_rows, compiled_apps)
     print_table("Figure 10: P4 lines of code by component", rows)
+    report_rows("fig10_loc_breakdown", rows, engine="pisa", benchmark=benchmark)
     assert all(row["p4_total"] > row["lucid_loc"] for row in rows)
     # tables and actions dominate the generated P4, as in the paper
     for row in rows:

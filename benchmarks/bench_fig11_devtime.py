@@ -9,7 +9,7 @@ repository can measure.
 
 from repro.apps import ALL_APPLICATIONS
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 FIG11_APPS = ["NAT", "RIP", "DFW", "DFW(a)"]
 PAPER_DEV_TIME_MIN = {"NAT": 25, "RIP": 40, "DFW": 25, "DFW(a)": 55}
@@ -30,5 +30,6 @@ def test_fig11_devtime_proxy(benchmark):
         for key in FIG11_APPS
     ]
     print_table("Figure 11 (proxy): application size vs reported dev time", rows)
+    report_rows("fig11_devtime", rows, engine="pisa", benchmark=benchmark)
     # the prototypes the student wrote in <1 hour are all small programs
     assert all(row["lucid_loc"] <= 150 for row in rows)

@@ -5,7 +5,7 @@ tables on the longest code path) to the optimised layout's stage count:
 1.5-4x for most applications, larger for the complex ones.
 """
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 
 def _figure12_rows(compiled_apps):
@@ -25,6 +25,7 @@ def _figure12_rows(compiled_apps):
 def test_fig12_stage_ratio(benchmark, compiled_apps):
     rows = benchmark(_figure12_rows, compiled_apps)
     print_table("Figure 12: optimised vs unoptimised stages", rows)
+    report_rows("fig12_stage_ratio", rows, engine="pisa", benchmark=benchmark)
     ratios = [row["ratio"] for row in rows]
     assert all(r >= 1.0 for r in ratios)
     # most applications benefit noticeably from the optimisations

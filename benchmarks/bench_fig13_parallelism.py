@@ -4,7 +4,7 @@ The paper reports 2-13 instructions per stage across the applications,
 showing that the compiler finds and exploits instruction-level parallelism.
 """
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 
 def _figure13_rows(compiled_apps):
@@ -25,6 +25,7 @@ def _figure13_rows(compiled_apps):
 def test_fig13_parallelism(benchmark, compiled_apps):
     rows = benchmark(_figure13_rows, compiled_apps)
     print_table("Figure 13: ALU instructions per stage", rows)
+    report_rows("fig13_parallelism", rows, engine="pisa", benchmark=benchmark)
     assert all(row["max_per_stage"] >= 2 for row in rows)
     assert max(row["max_per_stage"] for row in rows) >= 6
     assert all(row["max_per_stage"] <= 20 for row in rows)

@@ -9,7 +9,7 @@ of up to ~50 us of delay error for a 100 us release interval.
 
 from repro.pisa import simulate_concurrent_delays
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 CONCURRENCY = [0, 10, 20, 30, 40, 50, 60, 70, 80, 90]
 
@@ -34,6 +34,7 @@ def _figure14_rows():
 def test_fig14_pausable_queue(benchmark):
     rows = benchmark(_figure14_rows)
     print_table("Figure 14: pausable queue overhead and accuracy", rows)
+    report_rows("fig14_pausable_queue", rows, engine="model", benchmark=benchmark)
     last = rows[-1]
     assert 3.0 < last["queue_bw_gbps"] < 8.0          # paper: 5.5 Gb/s at 90 events
     assert last["baseline_bw_gbps"] > 90.0            # paper: port saturated (>95 Gb/s)

@@ -9,12 +9,13 @@ generate install-style events, which send events to other switches).
 
 from repro.analysis.recirc_uses import recirc_uses_table
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 
 def test_fig15_recirc_uses(benchmark, compiled_apps):
     rows = benchmark(recirc_uses_table, compiled_apps)
     print_table("Figure 15: recirculation uses", rows)
+    report_rows("fig15_recirc_uses", rows, engine="pisa", benchmark=benchmark)
     by_use = {row["use"]: row["applications"] for row in rows}
     maintenance = by_use["Data struct. maintenance"]
     setup = by_use["Flow setup"]

@@ -10,7 +10,7 @@ import pytest
 
 from repro.analysis import firewall_overhead_table
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 
 def test_fig16_recirc_model(benchmark):
@@ -20,6 +20,7 @@ def test_fig16_recirc_model(benchmark):
         row["pipeline_utilization_pct"] = round(row["pipeline_utilization_pct"], 3)
         row["min_pkt_size_bytes"] = round(row["min_pkt_size_bytes"], 2)
     print_table("Figure 16: stateful firewall recirculation model", rows)
+    report_rows("fig16_recirc_model", rows, engine="model", benchmark=benchmark)
 
     by_rate = {int(p.flow_rate_per_s): p for p in points}
     assert by_rate[10_000].recirc_rate_pps == pytest.approx(815_360, rel=0.01)

@@ -13,7 +13,7 @@ import statistics
 from repro.apps.stateful_firewall import FirewallExperiment
 from repro.workloads import FlowWorkload
 
-from conftest import print_table
+from conftest import print_table, report_rows
 
 # 2 tables x 1024 slots = 2048 elements; 640 flows -> load factor 0.3125
 TABLE_SLOTS = 1024
@@ -54,6 +54,7 @@ def test_fig17_firewall_install(benchmark):
         },
     ]
     print_table("Figure 17: flow installation time", rows)
+    report_rows("fig17_firewall_install", rows, engine="model", benchmark=benchmark)
 
     zero_fraction = sum(1 for l in dp if l == 0) / len(dp)
     speedup = statistics.mean(rc) / max(1.0, statistics.mean(dp))

@@ -23,6 +23,7 @@ import argparse
 import sys
 import time
 
+from bench_common import write_report
 from repro.apps import ALL_APPLICATIONS
 from repro.frontend import check_program
 from repro.interp import EventInstance, Network
@@ -113,6 +114,11 @@ def main(argv=None) -> int:
         help="quick CI mode: SFW only, fewer events, asserts the fast path "
         "stays at least 2x ahead",
     )
+    parser.add_argument(
+        "--out", type=str, default="BENCH_interp_throughput.json",
+        help="JSON report path (empty string disables; default "
+        "BENCH_interp_throughput.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -128,9 +134,16 @@ def main(argv=None) -> int:
         print(f"unknown app keys: {unknown}; known: {sorted(ALL_APPLICATIONS)}")
         return 2
 
+    start = time.perf_counter()
     rows = run_sweep(keys, n_events, repeat)
+    wall_s = time.perf_counter() - start
     print("=== interpreter throughput: tree-walking vs compiled fast path ===")
     print_rows(rows)
+    if args.out:
+        write_report(
+            args.out, "interp-throughput", "reference,compiled", wall_s, rows,
+            events_per_app=n_events, repeat=repeat,
+        )
 
     if args.smoke:
         sfw = next(r for r in rows if r["app"] == "SFW")

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Overhead of the observability layer on the scheduler hot path.
+
+The metrics/tracing/profiling instrumentation in :mod:`repro.interp.network`
+is designed to cost one predicted-false branch per site when disabled (the
+``if OBS.enabled:`` fast path — see :mod:`repro.obs.metrics`).  This harness
+measures that claim:
+
+* **baseline** — the scheduler with the instrumentation *removed*: verbatim
+  pre-instrumentation copies of ``Network._dispatch`` and
+  ``Network._schedule_generated`` are monkeypatched in;
+* **disabled** — the shipped code with observability off (the default);
+* **enabled** — the shipped code with the metrics registry enabled.
+
+Run standalone::
+
+    python benchmarks/bench_obs_overhead.py            # full measurement
+    python benchmarks/bench_obs_overhead.py --smoke    # CI mode
+
+``--smoke`` asserts the disabled-mode overhead stays at or below 5%
+(best-of-N interleaved rounds, so scheduler noise mostly cancels).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from bench_common import write_report
+from repro.interp.events import LOCAL, EventInstance
+from repro.interp.network import Network
+from repro.obs import disable, enable
+from repro.scenarios import SCENARIOS, run_scenario
+
+DEFAULT_SCENARIO = "heavy-hitter-single"
+DEFAULT_EVENTS = 8_000
+SMOKE_EVENTS = 4_000
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+# ---------------------------------------------------------------------------
+# verbatim pre-instrumentation copies of the two hot-path methods (the state
+# of src/repro/interp/network.py before the observability layer landed)
+# ---------------------------------------------------------------------------
+def _baseline_schedule_generated(self, source, event, trace_parent=None):
+    source.stats.events_generated += 1
+    for target in event.targets(source.id):
+        if target == source.id:
+            if not source.engine.admit_recirculation(event):
+                source.stats.recirc_drops += 1
+                continue
+            delay = self._delay_after_queue(event.delay_ns)
+            arrival = self.now_ns + self.config.recirculation_latency_ns + delay
+            recirc_passes = 1
+            if event.delay_ns > 0 and not self.config.use_delay_queue:
+                recirc_passes += max(
+                    0, event.delay_ns // max(1, self.config.recirculation_latency_ns)
+                )
+            source.stats.recirculations += recirc_passes
+            source.stats.recirculated_bytes += recirc_passes * event.payload_bytes()
+            source.engine.on_recirculate(event)
+        else:
+            if (source.id, target) in self._down_links:
+                source.stats.link_drops += 1
+                continue
+            source.stats.remote_sends += 1
+            arrival = (
+                self.now_ns
+                + self.config.pipeline_latency_ns
+                + self.link_latency(source.id, target)
+                + self._delay_after_queue(event.delay_ns)
+            )
+        delivered = EventInstance(
+            name=event.name,
+            args=event.args,
+            delay_ns=0,
+            location=LOCAL,
+            group=None,
+            source=source.id,
+        )
+        self._push(arrival, target, delivered)
+
+
+def _baseline_dispatch(self, switch, event):
+    switch.runtime.time_ns = self.now_ns
+    if event.source == switch.id:
+        switch.engine.on_recirc_arrival(event)
+    result = switch.engine.run(event)
+    stats = switch.stats
+    stats.events_handled += 1
+    stats.handled_by_event[event.name] = stats.handled_by_event.get(event.name, 0) + 1
+    if result.dropped:
+        stats.drops += 1
+    if result.prints:
+        switch.log.extend(result.prints)
+    for generated in result.generated:
+        self._schedule_generated(switch, generated)
+    return result
+
+
+class _BaselinePatch:
+    """Swap the uninstrumented scheduler methods in for the duration."""
+
+    def __enter__(self):
+        self._dispatch = Network._dispatch
+        self._schedule = Network._schedule_generated
+        Network._dispatch = _baseline_dispatch
+        Network._schedule_generated = _baseline_schedule_generated
+        return self
+
+    def __exit__(self, *exc):
+        Network._dispatch = self._dispatch
+        Network._schedule_generated = self._schedule
+        return False
+
+
+def _eps(scenario, events: int, seed: int, engine: str) -> float:
+    result = run_scenario(scenario, events, seed, engine=engine)
+    if not result.ok:
+        raise AssertionError(f"scenario failed under {engine}: {result.invariants}")
+    return result.events_per_sec
+
+
+def measure(scenario_name: str, events: int, seed: int, engine: str, rounds: int):
+    """Best-of-``rounds`` events/sec for baseline / disabled / enabled,
+    interleaved so machine noise hits all three modes alike."""
+    scenario = SCENARIOS[scenario_name]
+    best = {"baseline": 0.0, "disabled": 0.0, "enabled": 0.0}
+    for _ in range(rounds):
+        with _BaselinePatch():
+            best["baseline"] = max(best["baseline"], _eps(scenario, events, seed, engine))
+        disable()
+        best["disabled"] = max(best["disabled"], _eps(scenario, events, seed, engine))
+        enable()
+        try:
+            best["enabled"] = max(best["enabled"], _eps(scenario, events, seed, engine))
+        finally:
+            disable()
+    overhead = 1.0 - best["disabled"] / best["baseline"] if best["baseline"] else 0.0
+    return {
+        "engine": engine,
+        "events": events,
+        "baseline_eps": round(best["baseline"]),
+        "disabled_eps": round(best["disabled"]),
+        "enabled_eps": round(best["enabled"]),
+        "disabled_overhead": round(overhead, 4),
+        "enabled_overhead": round(
+            1.0 - best["enabled"] / best["baseline"] if best["baseline"] else 0.0, 4
+        ),
+    }
+
+
+def print_rows(rows):
+    headers = list(rows[0].keys())
+    widths = {h: max(len(h), max(len(str(r[h])) for r in rows)) for h in headers}
+    print("  ".join(h.ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", type=str, default=DEFAULT_SCENARIO)
+    parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--engines", type=str, default="compiled,reference,pisa",
+                        help="comma-separated engine names")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="interleaved measurement rounds (best-of)")
+    parser.add_argument("--out", type=str, default="BENCH_obs_overhead.json",
+                        help="JSON report path (empty string disables)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: compiled engine only, fewer events, "
+                        f"asserts disabled-mode overhead <= {MAX_DISABLED_OVERHEAD:.0%}")
+    args = parser.parse_args(argv)
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; known: {sorted(SCENARIOS)}")
+        return 2
+    if args.smoke:
+        engines = ["compiled"]
+        events = min(args.events, SMOKE_EVENTS)
+        rounds = max(3, args.rounds)
+    else:
+        engines = [e for e in args.engines.split(",") if e]
+        events = args.events
+        rounds = args.rounds
+
+    start = time.perf_counter()
+    rows = [measure(args.scenario, events, args.seed, eng, rounds) for eng in engines]
+    wall_s = time.perf_counter() - start
+    print(f"=== observability overhead on {args.scenario} "
+          f"(best of {rounds} interleaved rounds) ===")
+    print_rows(rows)
+
+    if args.out:
+        write_report(
+            args.out, "obs-overhead", ",".join(engines), wall_s, rows,
+            scenario=args.scenario, seed=args.seed, rounds=rounds,
+        )
+
+    if args.smoke:
+        worst = max(rows, key=lambda r: r["disabled_overhead"])
+        if worst["disabled_overhead"] > MAX_DISABLED_OVERHEAD:
+            print(
+                f"OBS OVERHEAD REGRESSION: disabled-mode overhead "
+                f"{worst['disabled_overhead']:.1%} on {worst['engine']} "
+                f"(budget {MAX_DISABLED_OVERHEAD:.0%}) — a metric site is "
+                f"missing its OBS.enabled guard"
+            )
+            return 1
+        print(f"smoke ok: disabled-mode overhead {worst['disabled_overhead']:.1%} "
+              f"<= {MAX_DISABLED_OVERHEAD:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,15 +25,16 @@ enough for CI.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
+import time
 
+from bench_common import BENCH_SCHEMA_VERSION, write_report
 from repro.interp.engine import ENGINE_NAMES
 from repro.scenarios import SCENARIOS, run_scenario
 
-#: version of the two JSON report schemas; bump when fields change meaning
-SCHEMA_VERSION = 1
+#: the report envelope lives in bench_common; kept as an alias for callers
+#: that import it from here
+SCHEMA_VERSION = BENCH_SCHEMA_VERSION
 
 DEFAULT_EVENTS = 20_000
 SMOKE_SCENARIOS = ("heavy-hitter-single", "heavy-hitter-fattree")
@@ -127,23 +128,17 @@ def main(argv=None) -> int:
         print(f"unknown engines: {bad_engines}; known: {list(ENGINE_NAMES)}")
         return 2
 
+    start = time.perf_counter()
     rows = [bench_one(name, events, args.seed, engines) for name in names]
+    wall_s = time.perf_counter() - start
     print(f"=== scenario throughput across engines: {', '.join(engines)} ===")
     print_rows(rows, engines)
 
     if args.engines_out:
-        report = {
-            "benchmark": "scenario-engines",
-            "schema_version": SCHEMA_VERSION,
-            "python": platform.python_version(),
-            "events_per_scenario": events,
-            "seed": args.seed,
-            "engines": engines,
-            "results": rows,
-        }
-        with open(args.engines_out, "w") as fh:
-            json.dump(report, fh, indent=2)
-        print(f"wrote {args.engines_out}")
+        write_report(
+            args.engines_out, "scenario-engines", ",".join(engines), wall_s, rows,
+            events_per_scenario=events, seed=args.seed, engines=engines,
+        )
 
     if args.out and "compiled" in engines and "reference" in engines:
         # historical schema: compiled vs reference, one row per scenario
@@ -167,17 +162,10 @@ def main(argv=None) -> int:
             }
             for r in rows
         ]
-        report = {
-            "benchmark": "scenarios",
-            "schema_version": SCHEMA_VERSION,
-            "python": platform.python_version(),
-            "events_per_scenario": events,
-            "seed": args.seed,
-            "results": legacy_rows,
-        }
-        with open(args.out, "w") as fh:
-            json.dump(report, fh, indent=2)
-        print(f"wrote {args.out}")
+        write_report(
+            args.out, "scenarios", "compiled,reference", wall_s, legacy_rows,
+            events_per_scenario=events, seed=args.seed,
+        )
 
     bad = [r["scenario"] for r in rows if not (r["ok"] and r["engines_agree"])]
     if bad:

@@ -19,6 +19,23 @@ def compiled_apps():
     return {key: app.compile(emit_naive_p4=True) for key, app in ALL_APPLICATIONS.items()}
 
 
+def report_rows(name, rows, engine, benchmark=None, **extra):
+    """Write ``BENCH_<name>.json`` with the shared report envelope
+    (:mod:`bench_common`).  ``engine`` is the engine name the numbers came
+    from, or ``"model"`` for the analytic hardware-model figures;
+    ``benchmark`` (the pytest-benchmark fixture, after its call) supplies
+    the wall-clock duration."""
+    from bench_common import write_report
+
+    wall_s = None
+    if benchmark is not None:
+        try:
+            wall_s = float(benchmark.stats.stats.total)
+        except AttributeError:
+            wall_s = None
+    write_report(f"BENCH_{name}.json", name, engine, wall_s, rows, **extra)
+
+
 def print_table(title, rows):
     """Render a list of dict rows as an aligned text table."""
     print(f"\n=== {title} ===")

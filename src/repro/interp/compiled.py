@@ -46,7 +46,16 @@ from repro.interp.interpreter import (
     HandlerInterpreter,
     SwitchRuntime,
 )
+from repro.obs.metrics import OBS as _OBS, REGISTRY as _REGISTRY
 from repro.ops import div32 as _div, mod32 as _mod
+
+# only touched behind an ``if _OBS.enabled:`` guard (see repro.obs.metrics)
+_M_COMPILED_EVENTS = _REGISTRY.counter(
+    "repro_engine_compiled_events_total",
+    "Events executed through compiled handler closures.")
+_M_COMPILED_FALLBACKS = _REGISTRY.counter(
+    "repro_engine_compiled_fallbacks_total",
+    "Events handled by the tree-walker because the handler did not compile.")
 
 _MASK = 0xFFFFFFFF
 
@@ -871,7 +880,11 @@ class CompiledSwitchRuntime:
             # events without handlers are legal: they exit the switch
             return ExecutionResult()
         if handler is None:
+            if _OBS.enabled:
+                _M_COMPILED_FALLBACKS.inc()
             return self._tree_walker.run(event)
+        if _OBS.enabled:
+            _M_COMPILED_EVENTS.inc()
         args = event.args
         if len(args) != handler.nparams:
             raise InterpError(

@@ -50,6 +50,24 @@ from typing import Callable, Dict, Optional, Type
 from repro.errors import SimulationError
 from repro.interp.events import EventInstance
 from repro.interp.interpreter import ExecutionResult, HandlerInterpreter, SwitchRuntime
+from repro.obs.metrics import OBS as _OBS, REGISTRY
+
+# PISA-engine instruments; only touched behind an ``if _OBS.enabled:`` guard
+_M_PISA_EVENTS = REGISTRY.counter(
+    "repro_engine_pisa_events_total",
+    "Events executed through the PISA pipeline engine.")
+_M_PISA_STAGES = REGISTRY.counter(
+    "repro_engine_pisa_stages_traversed_total",
+    "Physical stages traversed by PISA-engine events.")
+_M_PISA_TABLES = REGISTRY.counter(
+    "repro_engine_pisa_tables_executed_total",
+    "Match-action tables executed by PISA-engine events.")
+_M_PISA_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_engine_pisa_recirc_queue_depth",
+    "In-flight locally recirculating events (max across switches).")
+_M_PISA_DELAY_PASSES = REGISTRY.counter(
+    "repro_engine_pisa_delay_passes_total",
+    "Recirculation passes charged for delayed local events.")
 
 
 class SwitchEngine:
@@ -201,6 +219,10 @@ class PisaEngine(SwitchEngine):
         if passed.stages_traversed > self.max_stages_traversed:
             self.max_stages_traversed = passed.stages_traversed
         self.tables_executed += passed.tables_executed
+        if _OBS.enabled:
+            _M_PISA_EVENTS.inc()
+            _M_PISA_STAGES.inc(passed.stages_traversed)
+            _M_PISA_TABLES.inc(passed.tables_executed)
         return ExecutionResult(
             generated=passed.generated,
             prints=passed.prints,
@@ -235,7 +257,11 @@ class PisaEngine(SwitchEngine):
         self.queue_depth += 1
         if self.queue_depth > self.peak_queue_depth:
             self.peak_queue_depth = self.queue_depth
-        self.port.recirculate(event.payload_bytes(), passes=self._delay_passes(event.delay_ns))
+        passes = self._delay_passes(event.delay_ns)
+        if _OBS.enabled:
+            _M_PISA_QUEUE_DEPTH.set_max(self.queue_depth)
+            _M_PISA_DELAY_PASSES.inc(passes)
+        self.port.recirculate(event.payload_bytes(), passes=passes)
 
     def on_recirc_arrival(self, event: EventInstance) -> None:
         self.recirculated_events += 1

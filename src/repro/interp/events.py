@@ -29,6 +29,11 @@ class EventInstance:
     group: Optional[Tuple[int, ...]] = None
     #: switch that generated the event (filled by the scheduler)
     source: Optional[int] = None
+    #: span id of the dispatch that generated this event, when a tracer is
+    #: attached (see :mod:`repro.obs.trace`); pure observability context —
+    #: never part of the event's value, never serialised into checkpoints
+    #: (tracing is for bounded runs, checkpoints for trace-free long ones)
+    trace_parent: Optional[int] = field(default=None, compare=False, repr=False)
     #: monotonically increasing id used for deterministic tie-breaking; not
     #: part of the event's value (two events are equal iff name, data, time,
     #: place, and source agree — regardless of when they were allocated)

@@ -19,7 +19,15 @@ from repro.frontend.symbols import ARRAY_METHODS, EVENT_COMBINATORS, ProgramInfo
 from repro.frontend.type_checker import CheckedProgram
 from repro.interp.arrays import RuntimeArray
 from repro.interp.events import LOCAL, EventInstance
+from repro.obs.metrics import OBS as _OBS, REGISTRY as _REGISTRY
 from repro.ops import apply_binop, lucid_hash, mask32
+
+# only touched behind an ``if _OBS.enabled:`` guard (see repro.obs.metrics);
+# counts compiled-engine fallbacks too — every tree-walked event lands here
+_M_TREEWALK_EVENTS = _REGISTRY.counter(
+    "repro_engine_reference_events_total",
+    "Events executed by the tree-walking interpreter "
+    "(including compiled-engine fallbacks).")
 
 # canonical ALU semantics live in repro.ops; these aliases keep the historic
 # import sites (tests, the pipeline executor of older checkouts) working
@@ -222,6 +230,8 @@ class HandlerInterpreter:
             # events without handlers are legal: they exit the switch (e.g.
             # packets forwarded to end hosts); nothing happens locally.
             return ExecutionResult()
+        if _OBS.enabled:
+            _M_TREEWALK_EVENTS.inc()
         if len(event.args) != len(handler.params):
             raise InterpError(
                 f"event '{event.name}' carries {len(event.args)} arguments but the handler "

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
@@ -28,6 +29,54 @@ from repro.frontend.type_checker import CheckedProgram, check_program
 from repro.interp.engine import SwitchEngine, make_engine, resolve_engine_name
 from repro.interp.events import LOCAL, EventInstance
 from repro.interp.interpreter import ExecutionResult, SwitchRuntime
+from repro.obs.metrics import DEFAULT_NS_BUCKETS, OBS as _OBS, REGISTRY
+
+
+class _Metrics:
+    """Scheduler-owned instruments, declared once at import time.  Hot paths
+    touch these only behind an ``if _OBS.enabled:`` guard — see
+    :mod:`repro.obs.metrics` for the cost model."""
+
+    events_handled = REGISTRY.counter(
+        "repro_network_events_handled_total",
+        "Events dispatched to a handler, by event name.", labelnames=("event",))
+    events_generated = REGISTRY.counter(
+        "repro_network_events_generated_total",
+        "Events produced by generate statements.")
+    events_dropped = REGISTRY.counter(
+        "repro_network_events_dropped_total",
+        "Events whose handler declared them dropped.")
+    remote_sends = REGISTRY.counter(
+        "repro_network_remote_sends_total",
+        "Events serialised into packets and sent over a link.")
+    link_drops = REGISTRY.counter(
+        "repro_network_link_drops_total",
+        "Remote events lost because the link to their target was down.")
+    recirc_drops = REGISTRY.counter(
+        "repro_network_recirc_drops_total",
+        "Local events refused admission by a bounded recirculation queue.")
+    recirculations = REGISTRY.counter(
+        "repro_network_recirculations_total",
+        "Passes through a recirculation port.")
+    recirc_bytes = REGISTRY.counter(
+        "repro_network_recirc_bytes_total",
+        "Bytes carried through recirculation ports.")
+    delay_parks = REGISTRY.counter(
+        "repro_network_delay_parks_total",
+        "Delayed local events parked in the pausable delay queue.")
+    event_delay_ns = REGISTRY.histogram(
+        "repro_network_event_delay_ns",
+        "Requested delay of parked events, simulated ns.",
+        buckets=DEFAULT_NS_BUCKETS)
+    heap_depth = REGISTRY.gauge(
+        "repro_network_heap_depth",
+        "Pending events in the scheduler heap after the last dispatch.")
+    sim_time_ns = REGISTRY.gauge(
+        "repro_network_sim_time_ns",
+        "Simulated clock at the last dispatch.")
+    dispatch_seconds = REGISTRY.histogram(
+        "repro_network_dispatch_seconds",
+        "Wall-clock seconds one engine.run() call took.")
 
 
 @dataclass
@@ -176,6 +225,12 @@ class Network:
         self.trace: List[TraceEntry] = []
         self.trace_enabled = True
         self.on_handle: Optional[Callable[[TraceEntry], None]] = None
+        #: optional :class:`repro.obs.trace.Tracer` — one span per dispatch,
+        #: parent links carried on ``EventInstance.trace_parent``
+        self.tracer = None
+        #: optional :class:`repro.obs.profile.HandlerProfiler` — per-handler
+        #: wall/sim-time accounting, fed by :meth:`_dispatch`
+        self.profiler = None
         #: the streaming source of the last interrupted :meth:`run`, if it
         #: was left partially consumed (guards :meth:`reset`, see there)
         self._partial_source: Optional[Iterable[SourceItem]] = None
@@ -276,8 +331,16 @@ class Network:
         periods = -(-delay_ns // interval)  # ceil division
         return periods * interval
 
-    def _schedule_generated(self, source: Switch, event: EventInstance) -> None:
+    def _schedule_generated(
+        self,
+        source: Switch,
+        event: EventInstance,
+        trace_parent: Optional[int] = None,
+    ) -> None:
         source.stats.events_generated += 1
+        obs_on = _OBS.enabled
+        if obs_on:
+            _Metrics.events_generated.inc()
         for target in event.targets(source.id):
             if target == source.id:
                 # local: the event packet recirculates at least once.  The
@@ -286,6 +349,8 @@ class Network:
                 # link drop.
                 if not source.engine.admit_recirculation(event):
                     source.stats.recirc_drops += 1
+                    if obs_on:
+                        _Metrics.recirc_drops.inc()
                     continue
                 delay = self._delay_after_queue(event.delay_ns)
                 arrival = self.now_ns + self.config.recirculation_latency_ns + delay
@@ -298,12 +363,22 @@ class Network:
                     )
                 source.stats.recirculations += recirc_passes
                 source.stats.recirculated_bytes += recirc_passes * event.payload_bytes()
+                if obs_on:
+                    _Metrics.recirculations.inc(recirc_passes)
+                    _Metrics.recirc_bytes.inc(recirc_passes * event.payload_bytes())
+                    if event.delay_ns > 0 and self.config.use_delay_queue:
+                        _Metrics.delay_parks.inc()
+                        _Metrics.event_delay_ns.observe(event.delay_ns)
                 source.engine.on_recirculate(event)
             else:
                 if (source.id, target) in self._down_links:
                     source.stats.link_drops += 1
+                    if obs_on:
+                        _Metrics.link_drops.inc()
                     continue
                 source.stats.remote_sends += 1
+                if obs_on:
+                    _Metrics.remote_sends.inc()
                 arrival = (
                     self.now_ns
                     + self.config.pipeline_latency_ns
@@ -317,6 +392,7 @@ class Network:
                 location=LOCAL,
                 group=None,
                 source=source.id,
+                trace_parent=trace_parent,
             )
             self._push(arrival, target, delivered)
 
@@ -330,7 +406,26 @@ class Network:
             # the event was generated here and came back through the
             # recirculation port — let the engine release its queue slot
             switch.engine.on_recirc_arrival(event)
-        result = switch.engine.run(event)
+        tracer = self.tracer
+        span_id = (
+            tracer.begin_handle(
+                event, switch.id, self.now_ns, self.config.pipeline_latency_ns
+            )
+            if tracer is not None
+            else None
+        )
+        prof = self.profiler
+        obs_on = _OBS.enabled
+        if prof is not None or obs_on:
+            start = perf_counter()
+            result = switch.engine.run(event)
+            wall_s = perf_counter() - start
+            if prof is not None:
+                prof.record(event.name, wall_s, self.config.pipeline_latency_ns)
+            if obs_on:
+                _Metrics.dispatch_seconds.observe(wall_s)
+        else:
+            result = switch.engine.run(event)
         stats = switch.stats
         stats.events_handled += 1
         stats.handled_by_event[event.name] = stats.handled_by_event.get(event.name, 0) + 1
@@ -338,8 +433,14 @@ class Network:
             stats.drops += 1
         if result.prints:
             switch.log.extend(result.prints)
+        if obs_on:
+            _Metrics.events_handled.labels(event.name).inc()
+            _Metrics.heap_depth.set(len(self._queue))
+            _Metrics.sim_time_ns.set(self.now_ns)
+            if result.dropped:
+                _Metrics.events_dropped.inc()
         for generated in result.generated:
-            self._schedule_generated(switch, generated)
+            self._schedule_generated(switch, generated, span_id)
         return result
 
     def step(self) -> Optional[TraceEntry]:

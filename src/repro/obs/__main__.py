@@ -1,0 +1,56 @@
+"""Observability CLI: ``python -m repro.obs validate-trace out.json``.
+
+Validates a Chrome trace-event JSON file produced by ``--trace``: first the
+built-in structural validator, then (when ``--schema`` is given and the
+``jsonschema`` package is importable) the checked-in JSON Schema.  Exits
+non-zero on the first problem — used by the CI ``obs-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.trace import validate_chrome_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser("validate-trace",
+                              help="validate a Chrome trace JSON file")
+    validate.add_argument("path", help="trace file written by --trace")
+    validate.add_argument("--schema", default="",
+                          help="optional JSON Schema file to validate against")
+    args = parser.parse_args(argv)
+
+    with open(args.path) as fh:
+        doc = json.load(fh)
+    try:
+        counts = validate_chrome_trace(doc)
+    except ValueError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    if args.schema:
+        try:
+            import jsonschema
+        except ImportError:
+            print("note: jsonschema not installed, structural checks only")
+        else:
+            with open(args.schema) as fh:
+                schema = json.load(fh)
+            try:
+                jsonschema.validate(doc, schema)
+            except jsonschema.ValidationError as exc:
+                print(f"INVALID (schema): {exc.message}", file=sys.stderr)
+                return 1
+    spans = counts["X"]
+    print(f"ok: {spans} spans, {counts['M']} metadata, "
+          f"{counts['s']}+{counts['f']} flow events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,461 @@
+"""Metrics registry: counters, gauges, histograms with Prometheus-style text
+exposition and a near-zero-cost disabled mode.
+
+Hot loops (``Network._dispatch`` runs ~100k times/sec) cannot afford per-event
+attribute chains or method calls when nobody is looking.  The design therefore
+splits the cost into two tiers:
+
+* a module-level :class:`ObsState` singleton (:data:`OBS`) whose single
+  ``enabled`` bool is the *only* thing hot paths read when observability is
+  off.  Instrumented call sites hoist one ``if _OBS.enabled:`` check around
+  the whole metric block, so the disabled cost is one attribute load + branch
+  (~30ns against a ~10µs dispatch).
+* instrument objects (created once at import time via get-or-create
+  registration) that do real work only inside that guard.
+
+A registry constructed with ``enabled=True`` owns a private, always-on state
+object — the telemetry emitter uses one so service-mode sampling works even
+while the global registry stays dark.
+
+Values survive ``enable()``/``disable()`` flips; :meth:`MetricsRegistry.reset`
+zeroes values in place without invalidating instrument references held by
+modules.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "OBS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsState",
+    "enable",
+    "disable",
+    "enabled",
+    "parse_text_exposition",
+]
+
+
+class ObsState:
+    """Mutable on/off switch shared by a registry and its instruments."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+
+
+#: process-global switch guarded by hot call sites; off by default so the
+#: simulator pays (almost) nothing unless observability is requested
+OBS = ObsState(False)
+
+
+# Default histogram buckets, in seconds — tuned for per-event dispatch times
+# that range from ~2µs (compiled closures) to ~100µs (pisa stage walk).
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 1e-2,
+)
+
+# Buckets for simulated delays, in nanoseconds.
+DEFAULT_NS_BUCKETS: Tuple[float, ...] = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+)
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    for raw, escaped in _LABEL_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _format_value(value: float) -> str:
+    # Prometheus exposition prints integers without a trailing ".0".
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _format_le(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return _format_value(bound)
+
+
+class _Instrument:
+    """Common parent-child label bookkeeping for all instrument kinds."""
+
+    kind = "untyped"
+    __slots__ = ("name", "help", "_state", "_labelnames", "_children", "_labelvalues")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        state: ObsState,
+        labelnames: Sequence[str] = (),
+        labelvalues: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self._state = state
+        self._labelnames = tuple(labelnames)
+        self._labelvalues = labelvalues
+        self._children: Dict[Tuple[str, ...], "_Instrument"] = {}
+
+    def labels(self, *values) -> "_Instrument":
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            if len(key) != len(self._labelnames):
+                raise ValueError(
+                    f"{self.name}: expected {len(self._labelnames)} label values, "
+                    f"got {len(key)}"
+                )
+            child = type(self)._make_child(self, key)
+            self._children[key] = child
+        return child
+
+    @classmethod
+    def _make_child(cls, parent: "_Instrument", key: Tuple[str, ...]):
+        raise NotImplementedError
+
+    def _reset_value(self) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self._reset_value()
+        for child in self._children.values():
+            child.reset()
+
+    def _samples(self) -> List[Tuple[Dict[str, str], str, float]]:
+        """Yield (labels, name-suffix, value) rows for text exposition."""
+        raise NotImplementedError
+
+    def _label_dict(self) -> Dict[str, str]:
+        if self._labelvalues is None:
+            return {}
+        return dict(zip(self._labelnames, self._labelvalues))
+
+    def collect(self) -> List[Tuple[Dict[str, str], str, float]]:
+        rows: List[Tuple[Dict[str, str], str, float]] = []
+        if self._labelvalues is not None or not self._labelnames:
+            rows.extend(self._samples())
+        for key in sorted(self._children):
+            rows.extend(self._children[key].collect())
+        return rows
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count.  ``inc`` is a no-op while disabled."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help, state, labelnames=(), labelvalues=None):
+        super().__init__(name, help, state, labelnames, labelvalues)
+        self._value = 0
+
+    @classmethod
+    def _make_child(cls, parent, key):
+        return cls(parent.name, parent.help, parent._state,
+                   parent._labelnames, key)
+
+    def inc(self, amount: int = 1) -> None:
+        if self._state.enabled:
+            self._value += amount
+
+    # alias: reads better at call sites accumulating batch quantities
+    add = inc
+
+    @property
+    def value(self):
+        return self._value
+
+    def _reset_value(self) -> None:
+        self._value = 0
+
+    def _samples(self):
+        return [(self._label_dict(), "", self._value)]
+
+
+class Gauge(_Instrument):
+    """Point-in-time value (heap depth, sim clock, queue occupancy)."""
+
+    kind = "gauge"
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help, state, labelnames=(), labelvalues=None):
+        super().__init__(name, help, state, labelnames, labelvalues)
+        self._value = 0
+
+    @classmethod
+    def _make_child(cls, parent, key):
+        return cls(parent.name, parent.help, parent._state,
+                   parent._labelnames, key)
+
+    def set(self, value) -> None:
+        if self._state.enabled:
+            self._value = value
+
+    def inc(self, amount=1) -> None:
+        if self._state.enabled:
+            self._value += amount
+
+    def dec(self, amount=1) -> None:
+        if self._state.enabled:
+            self._value -= amount
+
+    def set_max(self, value) -> None:
+        if self._state.enabled and value > self._value:
+            self._value = value
+
+    @property
+    def value(self):
+        return self._value
+
+    def _reset_value(self) -> None:
+        self._value = 0
+
+    def _samples(self):
+        return [(self._label_dict(), "", self._value)]
+
+
+class Histogram(_Instrument):
+    """Fixed-boundary histogram with cumulative bucket exposition."""
+
+    kind = "histogram"
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, name, help, state, labelnames=(), labelvalues=None,
+                 buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS):
+        super().__init__(name, help, state, labelnames, labelvalues)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"{name}: histogram needs at least one bucket")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    @classmethod
+    def _make_child(cls, parent, key):
+        return cls(parent.name, parent.help, parent._state,
+                   parent._labelnames, key, buckets=parent.buckets)
+
+    def observe(self, value: float) -> None:
+        if self._state.enabled:
+            self._counts[bisect_left(self.buckets, value)] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def _reset_value(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def _samples(self):
+        labels = self._label_dict()
+        rows = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, self._counts):
+            cumulative += count
+            row_labels = dict(labels)
+            row_labels["le"] = _format_le(bound)
+            rows.append((row_labels, "_bucket", cumulative))
+        row_labels = dict(labels)
+        row_labels["le"] = "+Inf"
+        rows.append((row_labels, "_bucket", self._count))
+        rows.append((labels, "_sum", self._sum))
+        rows.append((labels, "_count", self._count))
+        return rows
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with text exposition.
+
+    Registration is idempotent by name: the second ``counter("x")`` call
+    returns the first instrument, so modules can declare their metrics at
+    import time without coordinating.  Re-registering under a different kind
+    or label set is a programming error and raises.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None,
+                 state: Optional[ObsState] = None) -> None:
+        if state is None:
+            state = ObsState(bool(enabled))
+        elif enabled is not None:
+            state.enabled = enabled
+        self.state = state
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # -- switches ---------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.state.enabled
+
+    def enable(self) -> None:
+        self.state.enabled = True
+
+    def disable(self) -> None:
+        self.state.enabled = False
+
+    # -- registration -----------------------------------------------------
+    def _register(self, kind: str, name: str, help: str, labelnames, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"not {kind}")
+            if tuple(labelnames) != existing._labelnames:
+                raise ValueError(
+                    f"metric {name!r} label names {existing._labelnames} != "
+                    f"{tuple(labelnames)}")
+            return existing
+        instrument = _KINDS[kind](name, help, self.state,
+                                  labelnames=labelnames, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        return self._register("counter", name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        return self._register("gauge", name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "", labelnames=(),
+                  buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS) -> Histogram:
+        return self._register("histogram", name, help, labelnames,
+                              buckets=buckets)
+
+    # -- introspection ----------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def value(self, name: str, labels: Optional[Sequence[str]] = None):
+        instrument = self._instruments[name]
+        if labels:
+            instrument = instrument.labels(*labels)
+        return instrument.value
+
+    def reset(self) -> None:
+        """Zero every value in place; instrument references stay valid."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    # -- exposition -------------------------------------------------------
+    def render_text(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            for labels, suffix, value in instrument.collect():
+                if labels:
+                    rendered = ",".join(
+                        f'{key}="{_escape_label(str(val))}"'
+                        for key, val in labels.items()
+                    )
+                    lines.append(
+                        f"{name}{suffix}{{{rendered}}} {_format_value(value)}")
+                else:
+                    lines.append(f"{name}{suffix} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def parse_text_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse :meth:`MetricsRegistry.render_text` output back into values.
+
+    Returns ``{sample_name: {((label, value), ...): number}}`` where the
+    sample name includes histogram suffixes (``_bucket``/``_sum``/``_count``).
+    Used by tests to round-trip exposition through the telemetry emitter.
+    """
+    out: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, value_text = line.rpartition(" ")
+        if "{" in body:
+            name, _, label_blob = body.partition("{")
+            label_blob = label_blob.rstrip("}")
+            labels = []
+            for part in _split_labels(label_blob):
+                key, _, raw = part.partition("=")
+                labels.append((key, raw.strip('"')))
+            key_tuple = tuple(labels)
+        else:
+            name = body
+            key_tuple = ()
+        number = float(value_text) if value_text != "+Inf" else float("inf")
+        out.setdefault(name, {})[key_tuple] = number
+    return out
+
+
+def _split_labels(blob: str) -> Iterable[str]:
+    """Split ``a="x",b="y"`` on commas that sit outside quotes."""
+    part = []
+    in_quotes = False
+    escaped = False
+    for ch in blob:
+        if escaped:
+            part.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            part.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == "," and not in_quotes:
+            yield "".join(part)
+            part = []
+        else:
+            part.append(ch)
+    if part:
+        yield "".join(part)
+
+
+#: process-global registry wired to :data:`OBS`; instruments declared at
+#: module import time all hang off this object
+REGISTRY = MetricsRegistry(state=OBS)
+
+
+def enable() -> None:
+    """Turn on the global registry (hot paths start recording)."""
+    OBS.enabled = True
+
+
+def disable() -> None:
+    """Turn off the global registry (hot paths fall back to the no-op path)."""
+    OBS.enabled = False
+
+
+def enabled() -> bool:
+    return OBS.enabled

@@ -22,6 +22,7 @@ PRNG with a live :class:`~repro.interp.network.Switch`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from repro.backend.compiler import CompiledProgram
@@ -75,6 +76,9 @@ class PisaPipeline:
         # register file visible to Network.reset() and the array digests
         self.runtime = runtime or SwitchRuntime(compiled.checked, switch_id=switch_id)
         self.switch_id = self.runtime.switch_id
+        #: optional :class:`repro.obs.profile.StageProfiler` — per-physical-
+        #: stage wall-time and table accounting, fed by :meth:`process`
+        self.stage_prof = None
 
     # -- state access ---------------------------------------------------------
     def array(self, name: str) -> RuntimeArray:
@@ -104,8 +108,10 @@ class PisaPipeline:
         # table at the end of the pass
         generate_order: List[int] = []
         print_order: List[int] = []
-        for stage in self.layout.stages:
+        stage_prof = self.stage_prof
+        for stage_index, stage in enumerate(self.layout.stages):
             stage_executed = 0
+            stage_start = perf_counter() if stage_prof is not None else 0.0
             for merged in stage.merged_tables:
                 for table in merged.members:
                     if table.handler != event.name:
@@ -117,6 +123,10 @@ class PisaPipeline:
             if stage_executed:
                 result.stages_traversed += 1
                 result.tables_executed += stage_executed
+                if stage_prof is not None:
+                    stage_prof.record(
+                        stage_index, stage_executed, perf_counter() - stage_start
+                    )
         if len(result.generated) > 1:
             result.generated = [
                 event

@@ -12,7 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.obs.metrics import OBS as _OBS, REGISTRY as _REGISTRY
 from repro.pisa.tofino import MIN_FRAME_BYTES, DEFAULT_TIMING, TofinoTiming
+
+# only touched behind an ``if _OBS.enabled:`` guard (see repro.obs.metrics)
+_M_PORT_PASSES = _REGISTRY.counter(
+    "repro_pisa_recirc_port_passes_total",
+    "Packet passes through recirculation ports.")
+_M_PORT_BYTES = _REGISTRY.counter(
+    "repro_pisa_recirc_port_bytes_total",
+    "Bytes carried through recirculation ports (64 B minimum frame).")
 
 
 @dataclass
@@ -25,7 +34,11 @@ class RecirculationPort:
 
     def recirculate(self, packet_bytes: int = MIN_FRAME_BYTES, passes: int = 1) -> None:
         self.packets += passes
-        self.bytes += passes * max(MIN_FRAME_BYTES, packet_bytes)
+        wire_bytes = passes * max(MIN_FRAME_BYTES, packet_bytes)
+        self.bytes += wire_bytes
+        if _OBS.enabled:
+            _M_PORT_PASSES.inc(passes)
+            _M_PORT_BYTES.inc(wire_bytes)
 
     def bandwidth_bps(self, duration_ns: float) -> float:
         """Average recirculation bandwidth over ``duration_ns``."""

@@ -6,11 +6,13 @@
     python -m repro.scenarios run <name> [--events N] [--seed S]
                                   [--engine reference|compiled|pisa]
                                   [--all-engines | --both]
+                                  [--trace PATH] [--profile] [--metrics]
                                   [--json PATH] [--quiet]
     python -m repro.scenarios serve <name> [--events N | --unbounded]
                                   [--seed S] [--engine E]
                                   [--checkpoint-dir DIR] [--checkpoint-every N]
                                   [--telemetry PATH] [--telemetry-every N]
+                                  [--telemetry-flush-every N]
                                   [--chunk N] [--keep N] [--max-events N]
                                   [--fresh]
     python -m repro.scenarios soak [<name> ...] [--events N] [--seed S]
@@ -22,6 +24,14 @@ requires identical invariant verdicts and final array digests across all
 three (``--both`` is the older two-engine form).  ``run`` exits 0 when every
 invariant held (and, with ``--both``/``--all-engines``, when the engines
 agreed); 1 otherwise.
+
+Observability (see :mod:`repro.obs`): ``--trace PATH`` writes the run's
+event-lifecycle span tree as Chrome trace-event JSON (open in Perfetto);
+with ``--both``/``--all-engines`` one file per engine is written
+(``out.<engine>.json``) and the traces are required to be byte-identical.
+``--profile`` prints a top-N hot-handler report (plus per-PISA-stage rows);
+``--metrics`` enables the global metrics registry and dumps its Prometheus
+text exposition after the run.
 
 ``serve`` runs the scenario as a long-lived process: traffic streams in
 bounded chunks, JSON-lines telemetry goes to ``--telemetry`` (stderr by
@@ -48,8 +58,7 @@ from repro.scenarios.registry import SCENARIOS, get
 from repro.scenarios.runner import (
     ScenarioResult,
     run_scenario,
-    run_scenario_all_engines,
-    run_scenario_both,
+    run_scenario_engines,
 )
 
 
@@ -94,6 +103,39 @@ def _print_result(result: ScenarioResult, quiet: bool) -> None:
     if result.details and not quiet:
         for key, value in result.details.items():
             print(f"  {key}: {value}")
+    if result.profile:
+        _print_profile(result)
+
+
+def _print_profile(result: ScenarioResult) -> None:
+    rows = result.profile.get("hot_handlers", [])
+    if rows:
+        print(f"  hot handlers ({result.engine}):")
+        header = f"    {'handler':<20} {'calls':>8} {'wall_s':>10} {'share':>7} {'us/call':>9}"
+        print(header)
+        for row in rows:
+            print(
+                f"    {row['handler']:<20} {row['calls']:>8} "
+                f"{row['wall_s']:>10.6f} {row['wall_share'] * 100:>6.1f}% "
+                f"{row['us_per_call']:>9.3f}"
+            )
+    stages = result.profile.get("stages", [])
+    if stages:
+        print(f"  pipeline stages ({result.engine}):")
+        print(f"    {'stage':>5} {'events':>9} {'tables':>9} {'wall_s':>10}")
+        for row in stages:
+            print(
+                f"    {row['stage']:>5} {row['events']:>9} "
+                f"{row['tables_executed']:>9} {row['wall_s']:>10.6f}"
+            )
+
+
+def _trace_path(base: str, engine: str, multi: bool) -> str:
+    """Per-engine trace file name: ``out.json`` -> ``out.<engine>.json``."""
+    if not multi:
+        return base
+    root, dot, ext = base.rpartition(".")
+    return f"{root}.{engine}.{ext}" if dot else f"{base}.{engine}"
 
 
 def _serve(args) -> int:
@@ -122,6 +164,7 @@ def _serve(args) -> int:
         checkpoint_every=args.checkpoint_every,
         keep_checkpoints=args.keep,
         telemetry_every=args.telemetry_every,
+        telemetry_flush_every=args.telemetry_flush_every,
         chunk_events=args.chunk,
         max_events=args.max_events,
         resume=not args.fresh,
@@ -215,6 +258,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     engine.add_argument("--all-engines", action="store_true",
                         help="run ALL engines (reference, compiled, pisa) and "
                         "require identical verdicts and final array states")
+    run_parser.add_argument("--trace", type=str, default="",
+                            help="write an event-lifecycle Chrome trace "
+                            "(Perfetto-compatible JSON) to PATH; with "
+                            "--both/--all-engines, one file per engine")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="per-handler (and per-PISA-stage) "
+                            "wall-time profiling, printed as a top-N report")
+    run_parser.add_argument("--metrics", action="store_true",
+                            help="enable the metrics registry and print its "
+                            "Prometheus text exposition after the run")
     run_parser.add_argument("--json", type=str, default="",
                             help="also write the result(s) as JSON to PATH")
     run_parser.add_argument("--quiet", action="store_true",
@@ -246,6 +299,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_parser.add_argument("--telemetry-every", type=int, default=25_000,
                               help="handled events between telemetry records "
                               "(default 25000)")
+    serve_parser.add_argument("--telemetry-flush-every", type=int, default=1,
+                              help="telemetry records buffered before a "
+                              "stream flush (default 1: flush each record)")
     serve_parser.add_argument("--chunk", type=int, default=5_000,
                               help="handled events per scheduler chunk — the "
                               "signal/checkpoint granularity (default 5000)")
@@ -287,13 +343,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(exc.args[0])
         return 2
 
+    if args.metrics:
+        from repro.obs import enable
+
+        enable()
+    try:
+        return _run(args, scenario)
+    finally:
+        if args.metrics:
+            from repro.obs import disable
+
+            disable()
+
+
+def _run(args, scenario) -> int:
+    tracer_factory = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer_factory = lambda engine_name: Tracer(seed=args.seed)  # noqa: E731
+
     results: List[ScenarioResult] = []
     if args.both or args.all_engines:
+        engines = ENGINE_NAMES if args.all_engines else ("compiled", "reference")
         try:
-            if args.all_engines:
-                results = run_scenario_all_engines(scenario, args.events, args.seed)
-            else:
-                results = list(run_scenario_both(scenario, args.events, args.seed))
+            results = run_scenario_engines(
+                scenario, args.events, args.seed, engines=engines,
+                tracer_factory=tracer_factory, profile=args.profile,
+            )
         except AssertionError as exc:
             print(f"ENGINE MISMATCH: {exc}")
             return 1
@@ -305,7 +382,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             # --fast-path and the default both select the compiled engine
             engine_name = "compiled"
-        results = [run_scenario(scenario, args.events, args.seed, engine=engine_name)]
+        results = [run_scenario(
+            scenario, args.events, args.seed, engine=engine_name,
+            tracer=tracer_factory(engine_name) if tracer_factory else None,
+            profile=args.profile,
+        )]
 
     for result in results:
         _print_result(result, args.quiet)
@@ -313,13 +394,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         engines = ", ".join(r.engine for r in results)
         print(f"engines agree ({engines}): identical invariant verdicts and array states")
 
+    traces_diverge = False
+    if args.trace:
+        multi = len(results) > 1
+        blobs = {}
+        for result in results:
+            path = _trace_path(args.trace, result.engine, multi)
+            spans = result.tracer.write(path)
+            blobs[result.engine] = result.tracer.to_json_bytes()
+            print(f"wrote {path} ({spans} spans)")
+        if multi:
+            if len(set(blobs.values())) == 1:
+                print("traces byte-identical across engines")
+            else:
+                traces_diverge = True
+                print("TRACE MISMATCH: engines produced different span trees")
+
+    if args.metrics:
+        from repro.obs import REGISTRY
+
+        print(REGISTRY.render_text(), end="")
+
     if args.json:
         payload = [r.to_dict() for r in results]
         with open(args.json, "w") as fh:
             json.dump(payload if len(payload) > 1 else payload[0], fh, indent=2)
         print(f"wrote {args.json}")
 
-    return 0 if all(r.ok for r in results) else 1
+    return 0 if all(r.ok for r in results) and not traces_diverge else 1
 
 
 if __name__ == "__main__":

@@ -75,6 +75,13 @@ class ScenarioResult:
     #: peak queue depth, recirc passes/bytes/drops); empty for engines that
     #: do not model a pipeline
     pipeline_totals: Dict[str, object] = field(default_factory=dict)
+    #: profiling report (``{"hot_handlers": [...], "stages": [...]}``) when
+    #: the run was profiled; empty otherwise
+    profile: Dict[str, object] = field(default_factory=dict)
+    #: the :class:`repro.obs.trace.Tracer` attached to the run, when tracing
+    #: was requested — excluded from :meth:`to_dict` (the CLI writes it to
+    #: its own file)
+    tracer: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -111,6 +118,7 @@ class ScenarioResult:
             "array_digest": self.array_digest,
             "details": self.details,
             "pipeline": self.pipeline_totals,
+            **({"profile": self.profile} if self.profile else {}),
         }
 
 
@@ -159,12 +167,22 @@ def _aggregate_pipeline_totals(network: Network) -> Dict[str, object]:
     return totals
 
 
-def prepare_run(setup: ScenarioSetup, engine_name: str) -> Tuple[Network, ReplayableSource]:
+def prepare_run(
+    setup: ScenarioSetup,
+    engine_name: str,
+    tracer: Optional[object] = None,
+    profile: bool = False,
+) -> Tuple[Network, ReplayableSource]:
     """Build the network, preload state, reset + wire the invariants, and
     wrap the traffic stream in a replayable cursor — everything up to (but
     not including) the first handled event.  Shared by the batch runner and
     the service mode (:mod:`repro.service.server`), which restores a
-    checkpoint into the returned network instead of running from scratch."""
+    checkpoint into the returned network instead of running from scratch.
+
+    ``tracer`` attaches a :class:`repro.obs.trace.Tracer` to the network;
+    ``profile=True`` attaches a fresh
+    :class:`repro.obs.profile.HandlerProfiler` (plus a per-pipeline
+    :class:`~repro.obs.profile.StageProfiler` on every PISA switch)."""
     network = setup.make_network(engine_name)
     if setup.prepare is not None:
         setup.prepare(network)
@@ -172,6 +190,16 @@ def prepare_run(setup: ScenarioSetup, engine_name: str) -> Tuple[Network, Replay
         inv.reset(network, setup.topology)
     network.trace_enabled = False
     network.on_handle = observer_callback(setup.invariants)
+    if tracer is not None:
+        network.tracer = tracer
+    if profile:
+        from repro.obs.profile import HandlerProfiler, StageProfiler
+
+        network.profiler = HandlerProfiler()
+        for switch in network.switches.values():
+            pipeline = getattr(switch.engine, "pipeline", None)
+            if pipeline is not None and hasattr(pipeline, "stage_prof"):
+                pipeline.stage_prof = StageProfiler(pipeline.layout.num_stages())
     return network, ReplayableSource(setup.traffic)
 
 
@@ -212,6 +240,17 @@ def build_result(
             entry["pipeline"] = pipeline
         stats[sid] = entry
     details = setup.details(network) if setup.details is not None else {}
+    profile: Dict[str, object] = {}
+    if network.profiler is not None:
+        from repro.obs.profile import merge_stage_rows
+
+        profile["hot_handlers"] = network.profiler.top(10)
+        stage_rows = merge_stage_rows([
+            getattr(getattr(sw.engine, "pipeline", None), "stage_prof", None)
+            for sw in network.switches.values()
+        ])
+        if stage_rows:
+            profile["stages"] = stage_rows
     return ScenarioResult(
         scenario=scenario_name,
         engine=engine_name,
@@ -226,16 +265,21 @@ def build_result(
         array_digest=network_array_digest(network),
         details=details,
         pipeline_totals=_aggregate_pipeline_totals(network),
+        profile=profile,
+        tracer=network.tracer,
     )
 
 
 def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
               fast_path: Optional[bool] = None,
-              engine: Optional[str] = None) -> ScenarioResult:
+              engine: Optional[str] = None,
+              tracer: Optional[object] = None,
+              profile: bool = False) -> ScenarioResult:
     """Execute one prepared scenario on one engine (``engine=`` names it;
-    ``fast_path=`` remains as the deprecated boolean alias)."""
+    ``fast_path=`` remains as the deprecated boolean alias).  ``tracer`` /
+    ``profile`` attach observability hooks — see :func:`prepare_run`."""
     engine_name = resolve_engine_name(engine, fast_path)
-    network, source = prepare_run(setup, engine_name)
+    network, source = prepare_run(setup, engine_name, tracer=tracer, profile=profile)
     start = time.perf_counter()
     handled = network.run(source=source)
     handled += network.run(until_ns=settle_horizon(setup, network, source))
@@ -248,22 +292,38 @@ def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
 
 def run_scenario(scenario, events: int, seed: int,
                  fast_path: Optional[bool] = None,
-                 engine: Optional[str] = None) -> ScenarioResult:
+                 engine: Optional[str] = None,
+                 tracer: Optional[object] = None,
+                 profile: bool = False) -> ScenarioResult:
     """Build and run a registered scenario once (see
     :mod:`repro.scenarios.registry` for the catalogue).  ``engine`` selects
     the execution engine (default ``"compiled"``)."""
     setup = scenario.build(events, seed)
-    return run_setup(setup, scenario.name, seed, fast_path=fast_path, engine=engine)
+    return run_setup(setup, scenario.name, seed, fast_path=fast_path,
+                     engine=engine, tracer=tracer, profile=profile)
 
 
 def run_scenario_engines(
-    scenario, events: int, seed: int, engines: Sequence[str] = ENGINE_NAMES
+    scenario, events: int, seed: int, engines: Sequence[str] = ENGINE_NAMES,
+    tracer_factory: Optional[Callable[[str], object]] = None,
+    profile: bool = False,
 ) -> List[ScenarioResult]:
     """Run one scenario under several engines (a fresh setup per engine, so
     stateful traffic models cannot leak) and require identical invariant
     verdicts and final array digests across all of them — the differential
-    conformance contract, now three-way."""
-    results = [run_scenario(scenario, events, seed, engine=name) for name in engines]
+    conformance contract, now three-way.
+
+    ``tracer_factory(engine_name)`` supplies a fresh tracer per engine run
+    (each result keeps its tracer on ``result.tracer``), so callers can
+    compare the serialized traces across engines."""
+    results = [
+        run_scenario(
+            scenario, events, seed, engine=name,
+            tracer=tracer_factory(name) if tracer_factory is not None else None,
+            profile=profile,
+        )
+        for name in engines
+    ]
     baseline = results[0]
     for other in results[1:]:
         if other.verdict_signature() != baseline.verdict_signature():

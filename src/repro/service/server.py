@@ -94,6 +94,10 @@ class ServiceConfig:
     resume: bool = True
     #: telemetry sink (defaults to stderr so stdout stays machine-readable)
     telemetry_stream: Optional[TextIO] = None
+    #: telemetry records buffered between stream flushes (1 = every record);
+    #: the stop path flushes explicitly before the final checkpoint, so a
+    #: larger window never loses records on SIGTERM
+    telemetry_flush_every: int = 1
 
 
 @dataclass
@@ -176,15 +180,23 @@ class ScenarioService:
         self.scenario = scenario
         self.config = config
         self.stop_requested = False
+        self.metrics_dump_requested = False
 
     # -- signals -------------------------------------------------------------
     def request_stop(self, signum=None, frame=None) -> None:
         """Ask the serve loop to stop after its current chunk (signal-safe)."""
         self.stop_requested = True
 
+    def request_metrics_dump(self, signum=None, frame=None) -> None:
+        """Ask the serve loop to dump its metrics registry (Prometheus text
+        exposition) to stderr after the current chunk (signal-safe)."""
+        self.metrics_dump_requested = True
+
     def install_signal_handlers(self) -> None:
         signal.signal(signal.SIGTERM, self.request_stop)
         signal.signal(signal.SIGINT, self.request_stop)
+        if hasattr(signal, "SIGUSR1"):  # not on Windows
+            signal.signal(signal.SIGUSR1, self.request_metrics_dump)
 
     # -- the loop ------------------------------------------------------------
     def run(self) -> ServiceOutcome:
@@ -203,6 +215,7 @@ class ScenarioService:
             self.scenario.name,
             engine_name,
             cfg.seed,
+            flush_every=cfg.telemetry_flush_every,
         )
 
         handled = 0
@@ -224,37 +237,47 @@ class ScenarioService:
         since_telemetry = 0
         checkpoint_path: Optional[str] = None
         stopped = False
-        while True:
-            if self.stop_requested:
-                stopped = True
-                break
-            if cfg.max_events is not None and handled >= cfg.max_events:
-                stopped = True
-                break
-            # peek before every chunk: a run() call on an already-exhausted
-            # source would degenerate to a full drain, which never returns
-            # for self-perpetuating control loops
-            if source.peek() is None:
-                break
-            chunk = cfg.chunk_events
-            if cfg.max_events is not None:
-                chunk = min(chunk, cfg.max_events - handled)
-            n = network.run(source=source, max_events=chunk)
-            handled += n
-            since_checkpoint += n
-            since_telemetry += n
-            if since_telemetry >= cfg.telemetry_every:
-                since_telemetry = 0
-                reports = evaluate(setup.invariants, network, streaming_only=True)
-                telemetry.emit(network, handled, source.injected,
-                               phase="run", invariants=reports)
-            if store is not None and since_checkpoint >= cfg.checkpoint_every:
-                since_checkpoint = 0
-                checkpoint_path = str(store.save(_checkpoint_payload(
-                    self.scenario.name, cfg, setup, network, source, handled)))
-                telemetry.emit(network, handled, source.injected,
-                               phase="checkpoint",
-                               extra={"checkpoint": checkpoint_path})
+        try:
+            while True:
+                if self.metrics_dump_requested:
+                    self.metrics_dump_requested = False
+                    sys.stderr.write(telemetry.render_text())
+                    sys.stderr.flush()
+                if self.stop_requested:
+                    stopped = True
+                    break
+                if cfg.max_events is not None and handled >= cfg.max_events:
+                    stopped = True
+                    break
+                # peek before every chunk: a run() call on an already-exhausted
+                # source would degenerate to a full drain, which never returns
+                # for self-perpetuating control loops
+                if source.peek() is None:
+                    break
+                chunk = cfg.chunk_events
+                if cfg.max_events is not None:
+                    chunk = min(chunk, cfg.max_events - handled)
+                n = network.run(source=source, max_events=chunk)
+                handled += n
+                since_checkpoint += n
+                since_telemetry += n
+                if since_telemetry >= cfg.telemetry_every:
+                    since_telemetry = 0
+                    reports = evaluate(setup.invariants, network, streaming_only=True)
+                    telemetry.emit(network, handled, source.injected,
+                                   phase="run", invariants=reports)
+                if store is not None and since_checkpoint >= cfg.checkpoint_every:
+                    since_checkpoint = 0
+                    checkpoint_path = str(store.save(_checkpoint_payload(
+                        self.scenario.name, cfg, setup, network, source, handled)))
+                    telemetry.emit(network, handled, source.injected,
+                                   phase="checkpoint",
+                                   extra={"checkpoint": checkpoint_path})
+        finally:
+            # buffered records must reach the sink before the final checkpoint
+            # below (and even if a chunk raised): a stop must not lose the
+            # partial flush window
+            telemetry.flush()
 
         if stopped:
             # interrupted mid-stream: persist a resumable checkpoint and
@@ -265,6 +288,7 @@ class ScenarioService:
             telemetry.emit(network, handled, source.injected, phase="checkpoint",
                            extra={"stopped": True,
                                   "checkpoint": checkpoint_path})
+            telemetry.flush()
             return ServiceOutcome(
                 handled=handled,
                 injected=source.injected,
@@ -288,6 +312,7 @@ class ScenarioService:
                        invariants=result.invariants,
                        extra={"ok": result.ok,
                               "array_digest": result.array_digest})
+        telemetry.flush()
         return ServiceOutcome(
             handled=handled,
             injected=source.injected,

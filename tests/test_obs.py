@@ -1,0 +1,369 @@
+"""The observability layer: metrics registry, event-lifecycle tracing,
+profiling hooks, and their CLI/telemetry integration.
+
+The golden-trace test pins the exact Chrome trace-event JSON for a small
+two-switch scenario and asserts all three engines reproduce it byte for
+byte.  Regenerate the golden file after an intentional format change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_obs.py -k golden
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.frontend import check_program
+from repro.interp import EventInstance, Network
+from repro.interp.engine import ENGINE_NAMES
+from repro.obs import (
+    REGISTRY,
+    HandlerProfiler,
+    StageProfiler,
+    Tracer,
+    disable,
+    enable,
+    merge_stage_rows,
+    parse_text_exposition,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.scenarios import SCENARIOS, run_scenario
+from repro.scenarios.__main__ import main as cli_main
+from repro.service.telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryEmitter, to_schema_v1
+
+GOLDEN = Path(__file__).parent / "golden" / "trace_small.json"
+SCHEMA = Path(__file__).parent / "schemas" / "chrome_trace.schema.json"
+
+# Two switches relaying an event back and forth: covers all three hop kinds
+# (inject, recirc via Event.delay, link via Event.locate) and nested control
+# flow, and compiles through all three engines.
+RELAY2 = """
+global hits = new Array<<32>>(8);
+memop plus(int stored, int x) { return stored + x; }
+event pkt(int idx, int hops);
+handle pkt(int idx, int hops) {
+  Array.set(hits, idx, plus, 1);
+  if (hops > 0) {
+    if (idx == 0) {
+      generate Event.delay(pkt(idx + 1, hops - 1), 500);
+    } else {
+      generate Event.locate(pkt(idx, hops - 1), (SELF + 1) % 2);
+    }
+  }
+}
+"""
+
+
+def _traced_run(engine: str, seed: int = 7) -> Tracer:
+    checked = check_program(RELAY2, name="relay2")
+    network = Network(engine=engine)
+    network.trace_enabled = False
+    network.add_switch(0, checked)
+    network.add_switch(1, checked)
+    network.add_link(0, 1)
+    tracer = Tracer(seed=seed)
+    network.tracer = tracer
+    network.inject(0, EventInstance("pkt", (0, 5)), at_ns=0)
+    network.inject(1, EventInstance("pkt", (1, 3)), at_ns=1000)
+    network.run()
+    return tracer
+
+
+@pytest.fixture
+def global_metrics():
+    """Enable the process-global registry for one test, zeroed both ways."""
+    REGISTRY.reset()
+    enable()
+    yield REGISTRY
+    disable()
+    REGISTRY.reset()
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("c_total", "a counter")
+    c.inc()
+    c.add(4)
+    assert c.value == 5
+    g = reg.gauge("g", "a gauge")
+    g.set(10)
+    g.inc(2)
+    g.dec()
+    g.set_max(5)   # below current value: no-op
+    g.set_max(99)
+    assert g.value == 99
+    h = reg.histogram("h_seconds", "a histogram", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    assert h.count == 3 and h.sum == pytest.approx(5.55)
+
+
+def test_disabled_registry_records_nothing():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("c_total")
+    g = reg.gauge("g")
+    h = reg.histogram("h", buckets=(1.0,))
+    c.inc()
+    g.set(7)
+    h.observe(0.5)
+    assert c.value == 0 and g.value == 0 and h.count == 0
+    reg.enable()
+    c.inc()
+    assert c.value == 1
+
+
+def test_registration_is_idempotent_and_kind_checked():
+    reg = MetricsRegistry(enabled=True)
+    a = reg.counter("repro_x_total", "help")
+    b = reg.counter("repro_x_total")
+    assert a is b
+    with pytest.raises(ValueError):
+        reg.gauge("repro_x_total")
+    lbl = reg.counter("repro_y_total", "help", labelnames=("event",))
+    with pytest.raises(ValueError):
+        reg.counter("repro_y_total", labelnames=("engine",))
+    lbl.labels("pkt").inc(3)
+    assert reg.value("repro_y_total", labels=("pkt",)) == 3
+
+
+def test_render_text_parse_round_trip():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("repro_a_total", "events", labelnames=("event",)).labels("pkt").inc(12)
+    reg.gauge("repro_b", "depth").set(3)
+    h = reg.histogram("repro_c_seconds", "latency", buckets=(0.001, 0.01))
+    h.observe(0.002)
+    h.observe(0.5)
+    text = reg.render_text()
+    assert "# TYPE repro_a_total counter" in text
+    assert "# HELP repro_b depth" in text
+    parsed = parse_text_exposition(text)
+    assert parsed["repro_a_total"][(("event", "pkt"),)] == 12
+    assert parsed["repro_b"][()] == 3
+    assert parsed["repro_c_seconds_count"][()] == 2
+    assert parsed["repro_c_seconds_bucket"][(("le", "0.01"),)] == 1
+    assert parsed["repro_c_seconds_bucket"][(("le", "+Inf"),)] == 2
+
+
+def test_network_hot_loop_metrics(global_metrics):
+    checked = check_program(RELAY2, name="relay2")
+    network = Network(engine="compiled")
+    network.trace_enabled = False
+    network.add_switch(0, checked)
+    network.add_switch(1, checked)
+    network.add_link(0, 1)
+    network.inject(0, EventInstance("pkt", (0, 5)), at_ns=0)
+    network.run()
+    totals = network.total_stats()
+    assert REGISTRY.value("repro_network_events_handled_total",
+                          labels=("pkt",)) == totals.events_handled
+    assert REGISTRY.value("repro_network_events_generated_total") == totals.events_generated
+    assert REGISTRY.value("repro_network_remote_sends_total") == totals.remote_sends
+    assert REGISTRY.value("repro_engine_compiled_events_total") == totals.events_handled
+    # text exposition covers the scheduler metrics
+    parsed = parse_text_exposition(REGISTRY.render_text())
+    assert parsed["repro_network_events_handled_total"][(("event", "pkt"),)] \
+        == totals.events_handled
+
+
+def test_metrics_disabled_by_default_after_scenario():
+    REGISTRY.reset()
+    result = run_scenario(SCENARIOS["heavy-hitter-single"], 200, seed=1)
+    assert result.ok
+    assert REGISTRY.value("repro_network_events_generated_total") == 0
+
+
+# ---------------------------------------------------------------------------
+# tracing
+# ---------------------------------------------------------------------------
+def test_trace_byte_identical_across_engines():
+    blobs = {eng: _traced_run(eng).to_json_bytes() for eng in ENGINE_NAMES}
+    assert len(set(blobs.values())) == 1, "engines disagree on the trace"
+
+
+def test_trace_matches_golden_file():
+    payload = _traced_run(ENGINE_NAMES[0]).to_json_bytes() + b"\n"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN.write_bytes(payload)
+    assert GOLDEN.read_bytes() == payload, (
+        "trace format drifted from tests/golden/trace_small.json; if the "
+        "change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def test_span_tree_and_hops():
+    tracer = _traced_run("compiled")
+    spans = tracer.spans
+    assert len(spans) == 10
+    hops = [s.hop for s in spans]
+    assert hops.count("inject") == 2
+    assert "recirc" in hops and "link" in hops
+    # span ids embed the seed and are dispatch-ordinal unique
+    assert all(s.span_id >> 48 == 7 for s in spans)
+    assert len({s.span_id for s in spans}) == len(spans)
+    roots = tracer.span_tree()
+    assert len(roots) == 2
+
+    def count(node):
+        return 1 + sum(count(c) for c in node["children"])
+
+    assert sum(count(r) for r in roots) == len(spans)
+
+
+def test_validate_chrome_trace_accepts_and_rejects():
+    doc = _traced_run("reference").chrome_trace()
+    counts = validate_chrome_trace(doc)
+    assert counts["M"] == 2 and counts["X"] == 10
+    assert counts["s"] == counts["f"] == 8
+    broken = json.loads(json.dumps(doc))
+    broken["traceEvents"][2]["ph"] = "Q"
+    with pytest.raises(ValueError):
+        validate_chrome_trace(broken)
+    truncated = json.loads(json.dumps(doc))
+    truncated["traceEvents"] = [
+        ev for ev in truncated["traceEvents"] if ev["ph"] != "f"
+    ]
+    with pytest.raises(ValueError):
+        validate_chrome_trace(truncated)
+
+
+def test_trace_validates_against_json_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(SCHEMA.read_text())
+    doc = _traced_run("pisa").chrome_trace()
+    jsonschema.validate(json.loads(json.dumps(doc)), schema)
+
+
+# ---------------------------------------------------------------------------
+# profiling
+# ---------------------------------------------------------------------------
+def test_handler_profiler_top_and_report():
+    prof = HandlerProfiler()
+    for _ in range(3):
+        prof.record("pkt", 0.002, 600)
+    prof.record("tick", 0.010, 600)
+    rows = prof.top(10)
+    assert [r["handler"] for r in rows] == ["tick", "pkt"]
+    assert rows[0]["wall_share"] == pytest.approx(0.625, abs=1e-3)
+    assert rows[1]["calls"] == 3 and rows[1]["sim_ns"] == 1800
+    assert "tick" in prof.format_report()
+
+
+def test_stage_profiler_merge():
+    a = StageProfiler(3)
+    a.record(0, 2, 0.001)
+    a.record(1, 1, 0.002)
+    b = StageProfiler(3)
+    b.record(0, 1, 0.004)
+    merged = merge_stage_rows([a, None, b])
+    assert merged[0]["events"] == 2 and merged[0]["tables_executed"] == 3
+    assert merged[0]["wall_s"] == pytest.approx(0.005)
+    assert merged[1]["events"] == 1
+
+
+def test_scenario_profile_collection():
+    result = run_scenario(SCENARIOS["heavy-hitter-single"], 300, seed=1,
+                          engine="pisa", profile=True)
+    assert result.ok
+    hot = result.profile["hot_handlers"]
+    assert hot and hot[0]["calls"] > 0
+    stages = result.profile["stages"]
+    assert stages and sum(r["events"] for r in stages) > 0
+    assert "profile" in result.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+def test_cli_trace_all_engines(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    code = cli_main([
+        "run", "heavy-hitter-single", "--events", "300", "--all-engines",
+        "--trace", str(trace), "--profile",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "traces byte-identical across engines" in out
+    payloads = set()
+    for eng in ENGINE_NAMES:
+        path = tmp_path / f"trace.{eng}.json"
+        assert path.exists()
+        payloads.add(path.read_bytes())
+        validate_chrome_trace(json.loads(path.read_text()))
+    assert len(payloads) == 1
+
+
+def test_cli_metrics_exposition(capsys):
+    code = cli_main([
+        "run", "heavy-hitter-single", "--events", "200", "--metrics",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "# TYPE repro_network_events_handled_total counter" in out
+    assert not REGISTRY.state.enabled, "--metrics must disable obs on exit"
+
+
+# ---------------------------------------------------------------------------
+# telemetry v2 round-trip
+# ---------------------------------------------------------------------------
+def test_telemetry_render_text_round_trips_record():
+    checked = check_program(RELAY2, name="relay2")
+    network = Network(engine="pisa")
+    network.trace_enabled = False
+    network.add_switch(0, checked)
+    network.add_switch(1, checked)
+    network.add_link(0, 1)
+    network.inject(0, EventInstance("pkt", (0, 5)), at_ns=0)
+    network.run()
+    out = io.StringIO()
+    emitter = TelemetryEmitter(out, "relay2", "pisa", seed=7)
+    record = emitter.emit(network, handled_total=10, injected_total=2)
+    assert record["schema_version"] == TELEMETRY_SCHEMA_VERSION == 2
+    parsed = parse_text_exposition(emitter.render_text())
+    for key in ("sim_ns", "events_handled", "events_injected", "events_generated",
+                "recirculations", "remote_sends", "queue_depth"):
+        assert parsed[f"repro_telemetry_{key}"][()] == record[key], key
+    v1 = to_schema_v1(record)
+    assert v1["schema_version"] == 1 and "events_generated" not in v1
+    assert v1["events_handled"] == record["events_handled"]
+
+
+def test_telemetry_v1_compat_emitter():
+    checked = check_program(RELAY2, name="relay2")
+    network = Network(engine="compiled")
+    network.add_switch(0, checked)
+    network.inject(0, EventInstance("pkt", (0, 0)), at_ns=0)
+    network.run()
+    out = io.StringIO()
+    emitter = TelemetryEmitter(out, "relay2", "compiled", seed=1, schema_version=1)
+    record = emitter.emit(network, handled_total=1, injected_total=1)
+    assert record["schema_version"] == 1
+    assert "events_generated" not in record
+    with pytest.raises(ValueError):
+        TelemetryEmitter(out, "relay2", "compiled", seed=1, schema_version=3)
+
+
+def test_telemetry_flush_batching():
+    checked = check_program(RELAY2, name="relay2")
+    network = Network(engine="compiled")
+    network.add_switch(0, checked)
+    network.inject(0, EventInstance("pkt", (0, 0)), at_ns=0)
+    network.run()
+    out = io.StringIO()
+    emitter = TelemetryEmitter(out, "relay2", "compiled", seed=1, flush_every=3)
+    emitter.emit(network, 1, 1)
+    emitter.emit(network, 1, 1)
+    assert out.getvalue() == "" and emitter.buffered_records == 2
+    emitter.emit(network, 1, 1)
+    assert emitter.buffered_records == 0
+    assert len(out.getvalue().splitlines()) == 3
+    emitter.emit(network, 1, 1)
+    emitter.flush()
+    assert len(out.getvalue().splitlines()) == 4

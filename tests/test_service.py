@@ -384,13 +384,65 @@ def test_telemetry_emitter_schema():
     lines = [json.loads(line) for line in out.getvalue().splitlines()]
     assert len(lines) == 2
     for record in lines:
-        assert record["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert record["schema_version"] == TELEMETRY_SCHEMA_VERSION == 2
         assert record["scenario"] == "relay"
         assert record["events_handled"] == 4
+        # schema v2: the generate-statement total rides along
+        assert record["events_generated"] == network.total_stats().events_generated
         # the pisa switch reports queue depths
         assert "peak_queue_depth" in record
     assert lines[0]["phase"] == "run"
     assert lines[1]["phase"] == "final" and lines[1]["ok"] is True
+
+
+def test_serve_flushes_buffered_telemetry_before_final_checkpoint(tmp_path, monkeypatch):
+    """Regression: with ``telemetry_flush_every`` > 1 the signal-stop path
+    used to write the final checkpoint while run records were still sitting
+    in the emitter's buffer — a SIGTERM lost up to flush_every-1 records.
+    The buffered lines must be in the sink *before* the final save."""
+    scenario = SCENARIOS["nat-churn"]
+    stream = io.StringIO()
+    config = ServiceConfig(
+        engine="compiled", seed=5, events=2_000,
+        checkpoint_dir=str(tmp_path / "ck"), checkpoint_every=10**9,
+        telemetry_every=200, chunk_events=100, max_events=900,
+        telemetry_stream=stream, telemetry_flush_every=50,
+    )
+    lines_at_save = []
+    real_save = CheckpointStore.save
+
+    def spy_save(self, payload):
+        lines_at_save.append(stream.getvalue().count("\n"))
+        return real_save(self, payload)
+
+    monkeypatch.setattr(CheckpointStore, "save", spy_save)
+    outcome = ScenarioService(scenario, config).run()
+    assert outcome.stopped
+    # 900 handled / telemetry_every=200 -> 4 run records, all buffered
+    # (the 50-record flush window never fills); the stop path must flush
+    # them before the one and only (final) checkpoint save
+    assert lines_at_save == [4]
+    # ... and the stopped-path record itself is flushed before returning
+    records = [json.loads(line) for line in stream.getvalue().splitlines()]
+    assert len(records) == 5
+    assert records[-1]["phase"] == "checkpoint" and records[-1]["stopped"] is True
+
+
+def test_serve_metrics_dump_request(capsys):
+    """``request_metrics_dump`` (the SIGUSR1 handler) makes the serve loop
+    print the telemetry registry's Prometheus exposition to stderr."""
+    scenario = SCENARIOS["heavy-hitter-single"]
+    config = ServiceConfig(
+        engine="compiled", seed=1, events=2_000, telemetry_every=500,
+        chunk_events=250, max_events=1_000, telemetry_stream=io.StringIO(),
+    )
+    service = ScenarioService(scenario, config)
+    service.request_metrics_dump()
+    outcome = service.run()
+    assert outcome.stopped
+    err = capsys.readouterr().err
+    assert "# TYPE repro_telemetry_events_handled gauge" in err
+    assert not service.metrics_dump_requested
 
 
 # ---------------------------------------------------------------------------

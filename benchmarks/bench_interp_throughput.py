@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Interpreter throughput: events/sec for the tree-walking engine versus the
-compiled-handler fast path, across the bundled Figure 9 applications.
+"""Interpreter throughput: events/sec for the tree-walking engine, the
+compiled-closure fast path, and the source-codegen engine, across the
+bundled Figure 9 applications.
 
 Each application is driven with a deterministic synthetic traffic workload
 (``pkt_*`` events where the program declares them, otherwise every handled
 event round-robin), with tracing disabled so the batched drain mode is used.
-The same event sequence is replayed through both engines.
+The same event sequence is replayed through every engine.
 
 Run standalone::
 
@@ -14,7 +15,8 @@ Run standalone::
     python benchmarks/bench_interp_throughput.py --apps SFW,RR --events 8000
 
 The smoke mode asserts the fast path stays at least 2x faster than the tree
-walker on the stateful-firewall workload, so perf regressions surface in CI.
+walker AND the codegen engine at least 2x faster than the fast path, both on
+the stateful-firewall workload, so perf regressions surface in CI.
 """
 
 from __future__ import annotations
@@ -56,12 +58,12 @@ def build_workload(checked, count: int, seed: int = 0xC0FFEE):
     return events
 
 
-def measure(checked, fast_path: bool, events, repeat: int = 3):
+def measure(checked, engine: str, events, repeat: int = 3):
     """Best-of-``repeat`` events/sec for one engine over one workload."""
     best = 0.0
     handled = 0
     for _ in range(repeat):
-        network = Network(engine="compiled" if fast_path else "reference")
+        network = Network(engine=engine)
         network.trace_enabled = False
         network.add_switch(0, checked)
         for event, at_ns in events:
@@ -79,15 +81,18 @@ def run_sweep(app_keys, n_events: int, repeat: int = 3):
         app = ALL_APPLICATIONS[key]
         checked = check_program(app.source, name=key)
         events = build_workload(checked, n_events)
-        slow_eps, handled = measure(checked, False, events, repeat)
-        fast_eps, _ = measure(checked, True, events, repeat)
+        slow_eps, handled = measure(checked, "reference", events, repeat)
+        fast_eps, _ = measure(checked, "compiled", events, repeat)
+        gen_eps, _ = measure(checked, "codegen", events, repeat)
         rows.append(
             {
                 "app": key,
                 "events": handled,
                 "tree_walk_eps": round(slow_eps),
                 "compiled_eps": round(fast_eps),
+                "codegen_eps": round(gen_eps),
                 "speedup": round(fast_eps / slow_eps, 2) if slow_eps else 0.0,
+                "codegen_speedup": round(gen_eps / fast_eps, 2) if fast_eps else 0.0,
             }
         )
     return rows
@@ -137,12 +142,12 @@ def main(argv=None) -> int:
     start = time.perf_counter()
     rows = run_sweep(keys, n_events, repeat)
     wall_s = time.perf_counter() - start
-    print("=== interpreter throughput: tree-walking vs compiled fast path ===")
+    print("=== interpreter throughput: tree-walking vs compiled vs codegen ===")
     print_rows(rows)
     if args.out:
         write_report(
-            args.out, "interp-throughput", "reference,compiled", wall_s, rows,
-            events_per_app=n_events, repeat=repeat,
+            args.out, "interp-throughput", "reference,compiled,codegen", wall_s,
+            rows, events_per_app=n_events, repeat=repeat,
         )
 
     if args.smoke:
@@ -153,7 +158,17 @@ def main(argv=None) -> int:
                 "the tree walker on SFW (expected >= 2x, typically >= 3x)"
             )
             return 1
-        print(f"smoke ok: SFW speedup {sfw['speedup']}x")
+        if sfw["codegen_speedup"] < 2.0:
+            print(
+                "PERF REGRESSION: the codegen engine is only "
+                f"{sfw['codegen_speedup']}x the compiled closures on SFW "
+                "(expected >= 2x)"
+            )
+            return 1
+        print(
+            f"smoke ok: SFW compiled {sfw['speedup']}x over reference, "
+            f"codegen {sfw['codegen_speedup']}x over compiled"
+        )
     return 0
 
 

@@ -11,9 +11,10 @@ Run standalone::
     python benchmarks/bench_scenarios.py --engines compiled,pisa
     python benchmarks/bench_scenarios.py --events 50000 --out BENCH_scenarios.json
 
-Each scenario is run under every selected engine (default: the tree-walking
-reference interpreter, the compiled fast path, and the PISA pipeline
-executor) with identical traffic (same seed).  Two JSON reports are written:
+Each scenario is run under every selected engine (default: every registered
+engine — the tree-walking reference interpreter, the compiled fast path,
+the PISA pipeline executor, and the source-codegen engine) with identical
+traffic (same seed).  Two JSON reports are written:
 ``BENCH_scenarios.json`` keeps the historical compiled-vs-reference schema,
 and ``BENCH_engines.json`` records events/sec per engine per scenario plus
 the PISA pipeline totals (stages occupied, recirculation passes, queue
@@ -41,9 +42,19 @@ SMOKE_SCENARIOS = ("heavy-hitter-single", "heavy-hitter-fattree")
 SMOKE_EVENTS = 3_000
 
 
-def bench_one(name: str, events: int, seed: int, engines) -> dict:
+def bench_one(name: str, events: int, seed: int, engines, repeat: int = 1) -> dict:
     scenario = SCENARIOS[name]
     results = {eng: run_scenario(scenario, events, seed, engine=eng) for eng in engines}
+    # verdict/digest parity always comes from the first run; extra repeats
+    # only tighten the timing (best-of — scenario runs are single samples
+    # otherwise, and scheduler jitter is visible at 3k events)
+    best_eps = {eng: r.events_per_sec for eng, r in results.items()}
+    best_setup = {eng: r.setup_s for eng, r in results.items()}
+    for _ in range(repeat - 1):
+        for eng in engines:
+            again = run_scenario(scenario, events, seed, engine=eng)
+            best_eps[eng] = max(best_eps[eng], again.events_per_sec)
+            best_setup[eng] = min(best_setup[eng], again.setup_s)
     signatures = {eng: r.verdict_signature() for eng, r in results.items()}
     agree = len(set(signatures.values())) == 1
     baseline = results[engines[0]]
@@ -53,7 +64,12 @@ def bench_one(name: str, events: int, seed: int, engines) -> dict:
         "topology": scenario.topology,
         "events": baseline.events_injected,
         "events_handled": baseline.events_handled,
-        "eps": {eng: round(r.events_per_sec) for eng, r in results.items()},
+        "eps": {eng: round(best_eps[eng]) for eng in engines},
+        # per-engine one-time cost: network build + handler compilation +
+        # preload.  Engines with digest-keyed module caches (codegen, and the
+        # closure compiler's shared memops) amortise this across switches —
+        # compare single vs fat-tree rows.
+        "setup_s": {eng: round(best_setup[eng], 4) for eng in engines},
         "ok": all(r.ok for r in results.values()),
         "engines_agree": agree,
         "array_digest": baseline.array_digest,
@@ -98,6 +114,10 @@ def main(argv=None) -> int:
     parser.add_argument("--events", type=int, default=DEFAULT_EVENTS,
                         help=f"traffic events per scenario (default {DEFAULT_EVENTS})")
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions per engine, best-of "
+                        "(default 3; parity is checked on the first run; "
+                        "--smoke forces 1)")
     parser.add_argument("--scenarios", type=str, default="",
                         help="comma-separated scenario names (default: all)")
     parser.add_argument("--engines", type=str, default=",".join(ENGINE_NAMES),
@@ -128,8 +148,9 @@ def main(argv=None) -> int:
         print(f"unknown engines: {bad_engines}; known: {list(ENGINE_NAMES)}")
         return 2
 
+    repeat = 1 if args.smoke else args.repeat
     start = time.perf_counter()
-    rows = [bench_one(name, events, args.seed, engines) for name in names]
+    rows = [bench_one(name, events, args.seed, engines, repeat) for name in names]
     wall_s = time.perf_counter() - start
     print(f"=== scenario throughput across engines: {', '.join(engines)} ===")
     print_rows(rows, engines)

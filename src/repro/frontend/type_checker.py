@@ -19,6 +19,7 @@ checked once and reused at any call site whose argument stages are compatible
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -80,6 +81,38 @@ class CheckedProgram:
     @property
     def name(self) -> str:
         return self.program.name
+
+    def digest(self) -> str:
+        """A stable hash of everything that determines compiled-handler
+        semantics: the resolved AST, scalar constants, and global array
+        shapes.  Multicast *group members* are deliberately excluded (they
+        are bound per switch from the topology and supplied at engine-build
+        time), so every switch of a fat-tree running the same app under the
+        same symbolic bindings shares one digest — which is what lets the
+        codegen module cache and the shared memop cache compile each app
+        once per network instead of once per switch."""
+        cached = getattr(self, "_digest", None)
+        if cached is not None:
+            return cached
+        consts = self.info.consts
+        scalars = sorted(
+            (k, v) for k, v in consts.values.items() if k not in consts.groups
+        )
+        globals_sig = [
+            (g.name, g.stage, g.cell_width, g.size, g.kind)
+            for g in self.info.globals.values()
+        ]
+        basis = "\x1f".join(
+            [
+                repr(self.program.decls),
+                repr(scalars),
+                repr(sorted(consts.groups)),
+                repr(globals_sig),
+            ]
+        )
+        cached = hashlib.sha256(basis.encode("utf-8")).hexdigest()
+        self._digest = cached
+        return cached
 
 
 # ---------------------------------------------------------------------------

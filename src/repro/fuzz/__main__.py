@@ -3,7 +3,7 @@
 Modes:
 
 * generate-and-check (default): draw ``--count`` cases from
-  ``CaseGenerator(--seed)``, run each under all three engines, shrink any
+  ``CaseGenerator(--seed)``, run each under every registered engine, shrink any
   failure to a minimal reproducer (``--no-shrink`` disables), and write
   reproducers as JSON into ``--out`` (default ``tests/regressions``).
   Exits non-zero if any case diverged.  Each agreeing case is additionally

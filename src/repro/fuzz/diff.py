@@ -67,7 +67,7 @@ class CaseResult:
 
 @dataclass
 class DiffOutcome:
-    """The three engines' results plus the list of disagreements."""
+    """Every registered engine's result plus the list of disagreements."""
 
     case: FuzzCase
     results: Dict[str, CaseResult] = field(default_factory=dict)

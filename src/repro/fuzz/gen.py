@@ -12,7 +12,7 @@ paper), and event chains always decrement a trailing ``hops`` parameter
 under an ``if (hops > 0)`` guard, so every workload terminates.
 
 What the programs deliberately exercise, because these are the places the
-three engines have historically disagreed:
+the engines have historically disagreed:
 
 * memops in every valid shape (plain sALU arithmetic and the conditional
   form), reached through ``Array.get``/``getm``/``set``/``setm``/``update``;

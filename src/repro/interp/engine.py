@@ -2,7 +2,7 @@
 
 A :class:`~repro.interp.network.Switch` executes events through a
 *switch engine* — the substrate that runs one handler invocation and
-returns what it produced.  Three engines ship with the repository:
+returns what it produced.  Four engines ship with the repository:
 
 ``reference``
     The tree-walking :class:`~repro.interp.interpreter.HandlerInterpreter`.
@@ -29,7 +29,16 @@ returns what it produced.  Three engines ship with the repository:
     recirculation queue whose overflow surfaces as the scheduler's
     ``recirc_drops`` counter.
 
-All three produce :class:`~repro.interp.interpreter.ExecutionResult`
+``codegen``
+    The source-generating fast path (:mod:`repro.interp.codegen`): each
+    handler body is emitted as flat Python source — slot-free locals,
+    inlined memops and ALU helpers, constant-folded operands, pre-bound
+    array cell lists — compiled once per program digest with
+    :func:`compile`/``exec`` and shared by every switch running the same
+    program.  Behaviourally identical to ``compiled`` and several times
+    faster again.
+
+All four produce :class:`~repro.interp.interpreter.ExecutionResult`
 values, so the network scheduler is engine-agnostic: generated events —
 including delayed and multicast ones — round-trip through the same
 scheduler heap regardless of the substrate that produced them.  Identical
@@ -159,6 +168,25 @@ class CompiledEngine(SwitchEngine):
 
         self.executor = CompiledSwitchRuntime(runtime)
         self.run = self.executor.run
+
+
+class CodegenEngine(SwitchEngine):
+    """Source-generated handlers: each handler body is emitted as flat
+    Python source, compiled once per program digest, and shared across
+    switches (see :mod:`repro.interp.codegen`)."""
+
+    name = "codegen"
+
+    def __init__(self, runtime: SwitchRuntime, config: Optional[object] = None):
+        super().__init__(runtime, config)
+        # imported lazily to keep module import order flexible
+        from repro.interp.codegen import CodegenSwitchRuntime
+
+        self.executor = CodegenSwitchRuntime(runtime)
+        self.run = self.executor.run
+        # obs-free dispatch for the network's inlined batch drain (which only
+        # engages when nothing — tracer, profiler, obs — watches per-event)
+        self.run_fast = self.executor.run_fast
 
 
 def _compiled_for(checked) -> "object":
@@ -333,10 +361,11 @@ ENGINES: Dict[str, Type[SwitchEngine]] = {
     ReferenceEngine.name: ReferenceEngine,
     CompiledEngine.name: CompiledEngine,
     PisaEngine.name: PisaEngine,
+    CodegenEngine.name: CodegenEngine,
 }
 
 #: the bundled engine names, in semantic-baseline-first order
-ENGINE_NAMES = ("reference", "compiled", "pisa")
+ENGINE_NAMES = ("reference", "compiled", "pisa", "codegen")
 
 
 def register_engine(cls: Type[SwitchEngine]) -> Type[SwitchEngine]:

@@ -3,13 +3,18 @@
 An event instance is the four-tuple the paper describes: a *name*, carried
 *data*, a *time* (here: an extra delay in nanoseconds), and a *place* (a
 switch id, a named multicast group, or ``LOCAL``).  ``Event.delay`` and
-``Event.locate`` return new values; events are immutable.
+``Event.locate`` return new values; events are immutable by convention.
+
+``EventInstance`` is a hand-written ``__slots__`` class rather than a frozen
+dataclass: event allocation sits on the hottest path of every engine (each
+dispatched and each generated event allocates one), and the dataclass
+machinery (``__init__`` with default factories, frozen ``__setattr__``)
+costs ~6x more per instance than a plain slotted class.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 #: sentinel location meaning "the switch that generated the event"
@@ -18,38 +23,111 @@ LOCAL = -1
 _serial = itertools.count()
 
 
-@dataclass(frozen=True)
 class EventInstance:
-    """A concrete event awaiting (or undergoing) handling."""
+    """A concrete event awaiting (or undergoing) handling.
 
-    name: str
-    args: Tuple[int, ...] = ()
-    delay_ns: int = 0
-    location: int = LOCAL
-    group: Optional[Tuple[int, ...]] = None
-    #: switch that generated the event (filled by the scheduler)
-    source: Optional[int] = None
-    #: span id of the dispatch that generated this event, when a tracer is
-    #: attached (see :mod:`repro.obs.trace`); pure observability context —
-    #: never part of the event's value, never serialised into checkpoints
-    #: (tracing is for bounded runs, checkpoints for trace-free long ones)
-    trace_parent: Optional[int] = field(default=None, compare=False, repr=False)
-    #: monotonically increasing id used for deterministic tie-breaking; not
-    #: part of the event's value (two events are equal iff name, data, time,
-    #: place, and source agree — regardless of when they were allocated)
-    serial: int = field(default_factory=lambda: next(_serial), compare=False)
+    Two events are equal iff name, data, time, place, and source agree —
+    regardless of when they were allocated (``serial``) or which dispatch
+    generated them (``trace_parent``).
+    """
+
+    __slots__ = (
+        "name",
+        "args",
+        "delay_ns",
+        "location",
+        "group",
+        "source",
+        "trace_parent",
+        "serial",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        args: Tuple[int, ...] = (),
+        delay_ns: int = 0,
+        location: int = LOCAL,
+        group: Optional[Tuple[int, ...]] = None,
+        source: Optional[int] = None,
+        trace_parent: Optional[int] = None,
+        serial: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.args = args
+        self.delay_ns = delay_ns
+        self.location = location
+        self.group = group
+        #: switch that generated the event (filled by the scheduler)
+        self.source = source
+        #: span id of the dispatch that generated this event, when a tracer is
+        #: attached (see :mod:`repro.obs.trace`); pure observability context —
+        #: never part of the event's value, never serialised into checkpoints
+        #: (tracing is for bounded runs, checkpoints for trace-free long ones)
+        self.trace_parent = trace_parent
+        #: monotonically increasing id used for deterministic tie-breaking;
+        #: not part of the event's value
+        self.serial = next(_serial) if serial is None else serial
+
+    def __repr__(self) -> str:
+        return (
+            f"EventInstance(name={self.name!r}, args={self.args!r}, "
+            f"delay_ns={self.delay_ns!r}, location={self.location!r}, "
+            f"group={self.group!r}, source={self.source!r}, serial={self.serial!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not EventInstance:
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.args == other.args
+            and self.delay_ns == other.delay_ns
+            and self.location == other.location
+            and self.group == other.group
+            and self.source == other.source
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.name, self.args, self.delay_ns, self.location, self.group, self.source)
+        )
 
     # -- combinators --------------------------------------------------------
     def delay(self, extra_ns: int) -> "EventInstance":
         """``Event.delay(e, t)`` — execute ``e`` at least ``t`` ns in the future."""
-        return replace(self, delay_ns=self.delay_ns + int(extra_ns), serial=next(_serial))
+        return EventInstance(
+            self.name,
+            self.args,
+            self.delay_ns + int(extra_ns),
+            self.location,
+            self.group,
+            self.source,
+            self.trace_parent,
+        )
 
     def locate(self, location: Union[int, Tuple[int, ...], List[int]]) -> "EventInstance":
         """``Event.locate(e, loc)`` — execute ``e`` at switch ``loc`` (or at every
         member of a group)."""
         if isinstance(location, (tuple, list)):
-            return replace(self, group=tuple(int(l) for l in location), serial=next(_serial))
-        return replace(self, location=int(location), serial=next(_serial))
+            return EventInstance(
+                self.name,
+                self.args,
+                self.delay_ns,
+                self.location,
+                tuple(int(l) for l in location),
+                self.source,
+                self.trace_parent,
+            )
+        return EventInstance(
+            self.name,
+            self.args,
+            self.delay_ns,
+            int(location),
+            self.group,
+            self.source,
+            self.trace_parent,
+        )
 
     # -- helpers -------------------------------------------------------------
     def is_local(self) -> bool:

@@ -10,7 +10,6 @@ events the handler generated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import InterpError
@@ -49,15 +48,57 @@ class _ReturnValue(Exception):
         self.value = value
 
 
-@dataclass
-class ExecutionResult:
-    """What one handler invocation produced."""
+#: Compiled memop callables shared across every switch running the same
+#: checked program, keyed by ``(CheckedProgram.digest(), memop name)``.
+#: Memop bodies close over nothing switch-specific (only the two parameters
+#: and program constants, which the digest covers), so a fat-tree full of
+#: switches running one app compiles each memop once.
+_SHARED_MEMOPS: Dict[Tuple[str, str], Callable[[int, int], int]] = {}
 
-    generated: List[EventInstance] = field(default_factory=list)
-    prints: List[str] = field(default_factory=list)
-    dropped: bool = False
-    forwarded_port: Optional[int] = None
-    flooded: bool = False
+
+class ExecutionResult:
+    """What one handler invocation produced.
+
+    A hand-written ``__slots__`` class (one is allocated per dispatched
+    event, so construction cost is hot-path cost).  ``generated`` and
+    ``prints`` may be any sequence — the codegen engine reuses shared empty
+    tuples for handlers that provably generate/print nothing — so equality
+    normalises both sides to lists.
+    """
+
+    __slots__ = ("generated", "prints", "dropped", "forwarded_port", "flooded")
+
+    def __init__(
+        self,
+        generated: Optional[List[EventInstance]] = None,
+        prints: Optional[List[str]] = None,
+        dropped: bool = False,
+        forwarded_port: Optional[int] = None,
+        flooded: bool = False,
+    ) -> None:
+        self.generated = [] if generated is None else generated
+        self.prints = [] if prints is None else prints
+        self.dropped = dropped
+        self.forwarded_port = forwarded_port
+        self.flooded = flooded
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult(generated={self.generated!r}, prints={self.prints!r}, "
+            f"dropped={self.dropped!r}, forwarded_port={self.forwarded_port!r}, "
+            f"flooded={self.flooded!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not ExecutionResult:
+            return NotImplemented
+        return (
+            list(self.generated) == list(other.generated)
+            and list(self.prints) == list(other.prints)
+            and self.dropped == other.dropped
+            and self.forwarded_port == other.forwarded_port
+            and self.flooded == other.flooded
+        )
 
 
 class SwitchRuntime:
@@ -103,6 +144,11 @@ class SwitchRuntime:
         """
         if name in self._memop_cache:
             return self._memop_cache[name]
+        shared_key = (self.checked.digest(), name)
+        shared = _SHARED_MEMOPS.get(shared_key)
+        if shared is not None:
+            self._memop_cache[name] = shared
+            return shared
         decl = self.info.memops.get(name)
         if decl is None:
             raise InterpError(f"no memop named '{name}'")
@@ -158,6 +204,7 @@ class SwitchRuntime:
                 "statement with one return in each branch"
             )
 
+        _SHARED_MEMOPS[shared_key] = run
         self._memop_cache[name] = run
         return run
 

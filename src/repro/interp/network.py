@@ -469,6 +469,7 @@ class Network:
         until_ns: Optional[int] = None,
         max_events: Optional[int] = None,
         source: Optional[Iterable[SourceItem]] = None,
+        batch: bool = True,
     ) -> int:
         """Run the simulation until the queue drains, ``until_ns`` is reached,
         or ``max_events`` have been handled.  Returns the number of events
@@ -489,12 +490,18 @@ class Network:
 
         When tracing is off (``trace_enabled=False`` and no ``on_handle``
         callback) the drain runs in a batched mode that skips per-event
-        :class:`TraceEntry` allocation entirely.
+        :class:`TraceEntry` allocation entirely.  With ``batch=True`` (the
+        default) and no observer of any kind attached (no tracer, no
+        profiler, obs metrics disabled), the drain additionally inlines the
+        per-event dispatch — engine/stats/log lookups are hoisted out of the
+        loop instead of re-entering :meth:`_dispatch` per event.  The fast
+        drain is behaviourally identical; ``batch=False`` forces the
+        plain path (useful for A/B-ing the scheduler itself).
         """
         if source is not None:
-            return self._run_streaming(source, until_ns, max_events)
+            return self._run_streaming(source, until_ns, max_events, batch)
         if not self.trace_enabled and self.on_handle is None:
-            return self._run_batched(until_ns, max_events)
+            return self._run_batched(until_ns, max_events, batch)
         handled = 0
         while self._queue:
             if max_events is not None and handled >= max_events:
@@ -507,13 +514,53 @@ class Network:
             self.now_ns = max(self.now_ns, until_ns)
         return handled
 
-    def _run_batched(self, until_ns: Optional[int], max_events: Optional[int]) -> int:
+    def _fast_eligible(self, batch: bool) -> bool:
+        """Whether the inlined batch drain may be used: nothing observes
+        individual dispatches (per-event accounting still happens; only the
+        observation hooks checked here would be skipped)."""
+        return (
+            batch
+            and self.tracer is None
+            and self.profiler is None
+            and not _OBS.enabled
+        )
+
+    def _fast_switch_entry(self, switch: Switch) -> tuple:
+        """Hoisted per-switch lookups for the inlined drain: runtime, bound
+        engine.run, stats fields, log, and the recirc-arrival hook (None when
+        the engine does not override the no-op base method)."""
+        engine = switch.engine
+        hook = (
+            engine.on_recirc_arrival
+            if type(engine).on_recirc_arrival is not SwitchEngine.on_recirc_arrival
+            else None
+        )
+        return (
+            switch,
+            switch.runtime,
+            # engines may expose an obs-free ``run_fast`` for this drain
+            # (the drain only engages when obs/tracing is off, so the
+            # per-event observability checks inside ``run`` are dead weight)
+            getattr(engine, "run_fast", engine.run),
+            switch.stats,
+            switch.stats.handled_by_event,
+            switch.log,
+            hook,
+        )
+
+    def _run_batched(
+        self, until_ns: Optional[int], max_events: Optional[int], batch: bool = True
+    ) -> int:
         """Trace-free drain: identical scheduling semantics to :meth:`step`
-        in a loop, minus the per-event trace-entry allocation."""
+        in a loop, minus the per-event trace-entry allocation.  When nothing
+        observes dispatches (:meth:`_fast_eligible`) the loop also inlines
+        :meth:`_dispatch` with per-switch lookups hoisted out."""
         handled = 0
         queue = self._queue
         switches = self.switches
         pop = heapq.heappop
+        fast = self._fast_eligible(batch)
+        fast_cache: Dict[int, tuple] = {}
         while queue:
             if max_events is not None and handled >= max_events:
                 break
@@ -524,6 +571,34 @@ class Network:
                 self.now_ns = time_ns
             if switch_id == CONTROL:
                 event(self)
+                # the control action may have attached a tracer/profiler or
+                # toggled obs — re-check eligibility and drop stale hoists
+                fast = self._fast_eligible(batch)
+                fast_cache.clear()
+                continue
+            if fast:
+                cached = fast_cache.get(switch_id)
+                if cached is None:
+                    switch = switches.get(switch_id)
+                    if switch is None:
+                        continue
+                    cached = fast_cache[switch_id] = self._fast_switch_entry(switch)
+                switch, runtime, run, stats, by_event, log, hook = cached
+                runtime.time_ns = self.now_ns
+                if hook is not None and event.source == switch_id:
+                    hook(event)
+                result = run(event)
+                stats.events_handled += 1
+                name = event.name
+                by_event[name] = by_event.get(name, 0) + 1
+                if result.dropped:
+                    stats.drops += 1
+                if result.prints:
+                    log.extend(result.prints)
+                if result.generated:
+                    for generated in result.generated:
+                        self._schedule_generated(switch, generated, None)
+                handled += 1
                 continue
             switch = switches.get(switch_id)
             if switch is None:
@@ -539,6 +614,7 @@ class Network:
         source: Iterable[SourceItem],
         until_ns: Optional[int],
         max_events: Optional[int],
+        batch: bool = True,
     ) -> int:
         """Merge a time-ordered external event stream with the internal heap.
 
@@ -561,6 +637,13 @@ class Network:
         exhausted = False
         traced = self.trace_enabled or self.on_handle is not None
         queue = self._queue
+        fast = not traced and self._fast_eligible(batch)
+        # semi-fast: a trace/on_handle consumer wants per-event entries, but
+        # no tracer/profiler/obs watches the dispatch itself — inline it with
+        # hoisted lookups and build only the TraceEntry on top (the dominant
+        # shape for scenario runs with streaming invariants)
+        semi = traced and self._fast_eligible(batch)
+        fast_cache: Dict[int, tuple] = {}
         while True:
             if pending is None and not exhausted:
                 pending = next(items, None)
@@ -581,6 +664,9 @@ class Network:
                 last_source_ns = self.now_ns
                 if switch_id == CONTROL:
                     payload(self)
+                    fast = not traced and self._fast_eligible(batch)
+                    semi = traced and self._fast_eligible(batch)
+                    fast_cache.clear()
                     continue
                 switch = self.switches.get(switch_id)
                 if switch is None:
@@ -602,13 +688,61 @@ class Network:
                     self.now_ns = time_ns
                 if switch_id == CONTROL:
                     event(self)
+                    fast = not traced and self._fast_eligible(batch)
+                    semi = traced and self._fast_eligible(batch)
+                    fast_cache.clear()
                     continue
                 switch = self.switches.get(switch_id)
                 if switch is None:
                     continue
             else:
                 break
-            result = self._dispatch(switch, event)
+            if fast:
+                # inlined _dispatch (see _run_batched); nothing observes
+                # dispatches here, so TraceEntry is never built either
+                cached = fast_cache.get(switch.id)
+                if cached is None:
+                    cached = fast_cache[switch.id] = self._fast_switch_entry(switch)
+                _, runtime, run, stats, by_event, log, hook = cached
+                runtime.time_ns = self.now_ns
+                if hook is not None and event.source == switch.id:
+                    hook(event)
+                result = run(event)
+                stats.events_handled += 1
+                name = event.name
+                by_event[name] = by_event.get(name, 0) + 1
+                if result.dropped:
+                    stats.drops += 1
+                if result.prints:
+                    log.extend(result.prints)
+                if result.generated:
+                    for generated in result.generated:
+                        self._schedule_generated(switch, generated, None)
+                handled += 1
+                continue
+            if semi:
+                # inlined _dispatch (tracer/profiler/obs are off — only the
+                # TraceEntry consumers below observe this event)
+                cached = fast_cache.get(switch.id)
+                if cached is None:
+                    cached = fast_cache[switch.id] = self._fast_switch_entry(switch)
+                _, runtime, run, stats, by_event, log, hook = cached
+                runtime.time_ns = self.now_ns
+                if hook is not None and event.source == switch.id:
+                    hook(event)
+                result = run(event)
+                stats.events_handled += 1
+                name = event.name
+                by_event[name] = by_event.get(name, 0) + 1
+                if result.dropped:
+                    stats.drops += 1
+                if result.prints:
+                    log.extend(result.prints)
+                if result.generated:
+                    for generated in result.generated:
+                        self._schedule_generated(switch, generated, None)
+            else:
+                result = self._dispatch(switch, event)
             handled += 1
             if traced:
                 entry = TraceEntry(
@@ -780,9 +914,10 @@ class Network:
             sw.runtime.random_state = sw_state["random_state"]
             for name, arr_state in sw_state["arrays"].items():
                 arr = sw.runtime.arrays[name]
-                # replace the cells list (compiled closures hold the
-                # RuntimeArray object, not the list, so this is safe)
-                arr.cells = list(arr_state["cells"])
+                # overwrite the cells IN PLACE: generated codegen modules
+                # bind the cell list itself (not the RuntimeArray), so the
+                # list identity must survive a restore
+                arr.cells[:] = arr_state["cells"]
                 arr.reads = arr_state["reads"]
                 arr.writes = arr_state["writes"]
             stats = sw_state["stats"]

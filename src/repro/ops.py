@@ -2,7 +2,8 @@
 
 Every execution substrate in this repository — the tree-walking
 interpreter (:mod:`repro.interp.interpreter`), the compiled-closure fast
-path (:mod:`repro.interp.compiled`), and the PISA pipeline executor
+path (:mod:`repro.interp.compiled`), the source-codegen engine
+(:mod:`repro.interp.codegen`), and the PISA pipeline executor
 (:mod:`repro.pisa.pipeline`) — must agree bit-for-bit on what one ALU
 operation computes.  This module is the single definition they all
 consume; keeping it dependency-free (it imports only the AST operator
@@ -24,6 +25,10 @@ from repro.errors import InterpError
 from repro.frontend import ast
 
 MASK32 = 0xFFFFFFFF
+
+#: pre-built struct packers per hash arity (format-string construction is
+#: measurable in invariant observers that hash on every handled event)
+_HASH_PACKERS: dict = {}
 
 
 def mask32(value: int) -> int:
@@ -50,12 +55,12 @@ def lucid_hash(width: int, args: Sequence[int], seed: int = 0) -> int:
     ``w >= 32`` keeps the full CRC word, ``w <= 0`` yields 0 (a zero-bit
     hash has exactly one value), and an empty argument list hashes just the
     seed word."""
+    n = len(args) + 1
+    packer = _HASH_PACKERS.get(n)
+    if packer is None:
+        packer = _HASH_PACKERS[n] = struct.Struct("<%dI" % n).pack
     value = zlib.crc32(
-        struct.pack(
-            "<%dI" % (len(args) + 1),
-            seed & MASK32,
-            *[int(arg) & MASK32 for arg in args],
-        )
+        packer(seed & MASK32, *[int(arg) & MASK32 for arg in args])
     )
     if width >= 32:
         return value

@@ -256,8 +256,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run the compiled and reference engines and "
                         "require identical verdicts and final array states")
     engine.add_argument("--all-engines", action="store_true",
-                        help="run ALL engines (reference, compiled, pisa) and "
+                        help="run ALL engines "
+                        f"({', '.join(ENGINE_NAMES)}) and "
                         "require identical verdicts and final array states")
+    run_parser.add_argument("--dump-source", action="store_true",
+                            help="print the Python source the codegen engine "
+                            "generates for the scenario's application, then "
+                            "exit without running")
     run_parser.add_argument("--trace", type=str, default="",
                             help="write an event-lifecycle Chrome trace "
                             "(Perfetto-compatible JSON) to PATH; with "
@@ -357,6 +362,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run(args, scenario) -> int:
+    if args.dump_source:
+        from repro.apps import ALL_APPLICATIONS
+        from repro.frontend import check_program
+        from repro.interp.codegen import dump_program_source
+
+        app = ALL_APPLICATIONS[scenario.app_key]
+        checked = check_program(app.source, name=scenario.app_key)
+        print(dump_program_source(checked))
+        return 0
+
     tracer_factory = None
     if args.trace:
         from repro.obs import Tracer

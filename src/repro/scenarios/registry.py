@@ -13,6 +13,7 @@ through the remote controller model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, Iterator, List
 
 import random
@@ -164,6 +165,22 @@ register(
 )
 
 
+@lru_cache(maxsize=None)
+def _sfw_flow_key(src: int, dst: int) -> int:
+    """Memoised SFW flow key: the observer hashes every handled packet, and
+    flows repeat — ``lucid_hash`` is pure, so the cache cannot diverge."""
+    return lucid_hash(32, [src, dst, 10398247])
+
+
+@lru_cache(maxsize=None)
+def _sfw_slots(key: int, size1: int, size2: int):
+    """Memoised cuckoo slot pair for one flow key (pure, per table sizes)."""
+    return (
+        lucid_hash(10, [key, 10398247]) % size1,
+        lucid_hash(10, [key, 1295981879]) % size2,
+    )
+
+
 class DataPlaneBeatsRemote(Invariant):
     """The Figure 17 claim at scenario scale: mean flow-installation latency
     with data-plane integrated control beats the Mantis-style remote
@@ -194,12 +211,11 @@ class DataPlaneBeatsRemote(Invariant):
 
     @staticmethod
     def _flow_key(src: int, dst: int) -> int:
-        return lucid_hash(32, [src, dst, 10398247])
+        return _sfw_flow_key(src, dst)
 
     def _is_installed(self, key: int) -> bool:
         keys1, keys2, stash = self._arrays
-        h1 = lucid_hash(10, [key, 10398247]) % keys1.size
-        h2 = lucid_hash(10, [key, 1295981879]) % keys2.size
+        h1, h2 = _sfw_slots(key, keys1.size, keys2.size)
         return keys1.cells[h1] == key or keys2.cells[h2] == key or stash.cells[0] == key
 
     def observe(self, entry) -> None:

@@ -4,9 +4,12 @@ fast path, or the PISA pipeline model), and report verdicts and per-switch
 stats — including pipeline/recirculation statistics for engines that model
 the hardware substrate.
 
-The runner never materialises traffic: the scenario's traffic factory yields
-a lazy, time-ordered stream that is merged with the simulator's internal
-event heap (:meth:`Network.run` with ``source=``).  After the stream is
+The scenario's traffic factory yields a lazy, time-ordered stream that is
+merged with the simulator's internal event heap (:meth:`Network.run` with
+``source=``).  The batch runner materialises that stream up front so the
+timed region measures the engine alone (``traffic_s`` records the
+generation cost separately); the service mode keeps streaming lazily, since
+its checkpoints serialise the cursor, not the buffer.  After the stream is
 exhausted the network is drained for ``settle_ns`` more simulated time so
 in-flight control events (cuckoo installs, sync updates, advertisement
 rounds) complete before invariants are checked — self-perpetuating control
@@ -70,6 +73,13 @@ class ScenarioResult:
     switch_stats: Dict[int, Dict[str, object]]
     #: CRC32 digest of every switch's final array state
     array_digest: str
+    #: wall time spent building the network + compiling handlers + preloading
+    #: state (everything before the first event) — excluded from ``wall_s``
+    setup_s: float = 0.0
+    #: wall time spent generating the traffic workload — excluded from
+    #: ``wall_s`` so ``events_per_sec`` measures the engines, not the
+    #: traffic models
+    traffic_s: float = 0.0
     details: Dict[str, object] = field(default_factory=dict)
     #: network-wide pipeline totals (stage occupancy, recirculated events,
     #: peak queue depth, recirc passes/bytes/drops); empty for engines that
@@ -104,6 +114,8 @@ class ScenarioResult:
             "events_handled": self.events_handled,
             "sim_ns": self.sim_ns,
             "wall_s": round(self.wall_s, 4),
+            "setup_s": round(self.setup_s, 4),
+            "traffic_s": round(self.traffic_s, 4),
             "events_per_sec": round(self.events_per_sec),
             "ok": self.ok,
             "invariants": [
@@ -219,6 +231,8 @@ def build_result(
     events_injected: int,
     events_handled: int,
     wall_s: float,
+    setup_s: float = 0.0,
+    traffic_s: float = 0.0,
 ) -> ScenarioResult:
     """Evaluate the invariants and assemble the :class:`ScenarioResult` for
     a finished (streamed + settled) network."""
@@ -259,6 +273,8 @@ def build_result(
         events_handled=events_handled,
         sim_ns=network.now_ns,
         wall_s=wall_s,
+        setup_s=setup_s,
+        traffic_s=traffic_s,
         events_per_sec=events_handled / wall_s if wall_s > 0 else 0.0,
         invariants=reports,
         switch_stats=stats,
@@ -277,16 +293,26 @@ def run_setup(setup: ScenarioSetup, scenario_name: str, seed: int,
               profile: bool = False) -> ScenarioResult:
     """Execute one prepared scenario on one engine (``engine=`` names it;
     ``fast_path=`` remains as the deprecated boolean alias).  ``tracer`` /
-    ``profile`` attach observability hooks — see :func:`prepare_run`."""
+    ``profile`` attach observability hooks — see :func:`prepare_run`.
+
+    Wall time is split three ways so ``events_per_sec`` measures the engine
+    rather than everything around it: ``setup_s`` (network construction +
+    handler compilation + preload), ``traffic_s`` (workload generation —
+    the traffic stream is materialised through the replayable cursor before
+    the clock starts), and ``wall_s`` (the drain + settle only)."""
     engine_name = resolve_engine_name(engine, fast_path)
+    t0 = time.perf_counter()
     network, source = prepare_run(setup, engine_name, tracer=tracer, profile=profile)
+    t1 = time.perf_counter()
+    items = list(source)
     start = time.perf_counter()
-    handled = network.run(source=source)
+    handled = network.run(source=items)
     handled += network.run(until_ns=settle_horizon(setup, network, source))
     wall = time.perf_counter() - start
     return build_result(
         setup, scenario_name, seed, engine_name, network,
         events_injected=source.injected, events_handled=handled, wall_s=wall,
+        setup_s=t1 - t0, traffic_s=start - t1,
     )
 
 

@@ -170,6 +170,25 @@ def test_heterogeneous_engines_agree_with_homogeneous_run():
     assert total.recirc_drops == 0
 
 
+def test_heterogeneous_network_mixing_codegen_agrees():
+    """Codegen switches interoperate with every other engine in one network:
+    relayed events cross engine boundaries and the final array state matches
+    a homogeneous codegen run."""
+    mixed = _run_relay(["codegen", "reference", "pisa"])
+    uniform = _run_relay(["codegen", "codegen", "codegen"])
+    baseline = _run_relay(["compiled", "compiled", "compiled"])
+    assert network_array_digest(mixed) == network_array_digest(baseline)
+    assert network_array_digest(uniform) == network_array_digest(baseline)
+    stats = mixed.stats()
+    assert [stats[sid]["engine"] for sid in range(3)] == [
+        "codegen",
+        "reference",
+        "pisa",
+    ]
+    # the generated handlers ran natively — nothing fell back to the walker
+    assert mixed.switches[0].engine.executor.fallback_handler_names == []
+
+
 def test_heterogeneous_network_reset_clears_engine_accounting():
     network = _run_relay(["pisa", "compiled", "pisa"])
     assert network.stats()[0]["pipeline"]["events"] > 0

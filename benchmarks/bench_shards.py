@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Sharded-execution scaling: wall-clock speedup of ``--shards N`` over the
+single-process drain on the shard-scale fat-tree scenario.
+
+Run standalone::
+
+    python benchmarks/bench_shards.py                  # 1M events, 1/2/4 workers
+    python benchmarks/bench_shards.py --smoke          # 20k events, 1/2 workers
+    python benchmarks/bench_shards.py --events 200000 --workers 1,2,4,8
+
+Every worker count runs the same scenario on the same seed; the run fails
+if any configuration's invariant verdicts or final array digest differ
+from the single-process baseline (determinism is part of the contract, not
+just the tests).  The report records ``host_cpus`` alongside the rows:
+the conservative-lookahead barrier can only show wall-clock speedup when
+the host actually has idle cores for the workers, so single-core CI boxes
+record honest (flat or slower) numbers and the scaling claim is evaluated
+on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from bench_common import write_report
+from repro.scenarios import SCENARIOS
+from repro.shard import run_sharded
+
+DEFAULT_SCENARIO = "heavy-hitter-fattree8"
+DEFAULT_EVENTS = 1_000_000
+DEFAULT_WORKERS = (1, 2, 4)
+SMOKE_EVENTS = 20_000
+SMOKE_WORKERS = (1, 2)
+
+
+def bench_one(name: str, events: int, seed: int, workers: int, engine: str) -> dict:
+    scenario = SCENARIOS[name]
+    result = run_sharded(scenario, events, seed, workers, engine=engine)
+    if not result.ok:
+        raise SystemExit(f"{name} --shards {workers}: invariant violations")
+    row = {
+        "workers": workers,
+        "events": result.events_injected,
+        "handled": result.events_handled,
+        "wall_s": round(result.wall_s, 3),
+        "events_per_sec": round(result.events_per_sec, 1),
+        "digest": result.array_digest,
+        "verdicts": result.verdict_signature(),
+    }
+    shards = result.details.get("shards")
+    if shards:
+        row["barrier_rounds"] = shards["barrier_rounds"]
+        row["lookahead_ns"] = shards["lookahead_ns"]
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default=DEFAULT_SCENARIO,
+                        choices=sorted(SCENARIOS))
+    parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--engine", default="codegen")
+    parser.add_argument("--workers", default="",
+                        help="comma-separated worker counts (default 1,2,4)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small event count, workers 1,2 — cheap CI gate")
+    parser.add_argument("--out", default="BENCH_shards.json")
+    args = parser.parse_args(argv)
+
+    events = SMOKE_EVENTS if args.smoke else args.events
+    if args.workers:
+        workers = tuple(int(w) for w in args.workers.split(","))
+    else:
+        workers = SMOKE_WORKERS if args.smoke else DEFAULT_WORKERS
+
+    t0 = time.perf_counter()
+    rows = []
+    lookahead = None
+    for count in workers:
+        print(f"[{args.engine}] {args.scenario}: {events} events, "
+              f"--shards {count} ...", flush=True)
+        row = bench_one(args.scenario, events, args.seed, count, args.engine)
+        lookahead = row.get("lookahead_ns", lookahead)
+        rows.append(row)
+        print(f"  {row['wall_s']:.3f} s drain, "
+              f"{row['events_per_sec']:,.0f} events/s, digest {row['digest']}")
+    wall = time.perf_counter() - t0
+
+    baseline = rows[0]
+    for row in rows:
+        if row["digest"] != baseline["digest"] or row["verdicts"] != baseline["verdicts"]:
+            print(f"DETERMINISM MISMATCH at --shards {row['workers']}: "
+                  f"digest {row['digest']} vs {baseline['digest']}")
+            return 1
+        row["speedup"] = round(baseline["wall_s"] / row["wall_s"], 2) if row["wall_s"] else None
+    print(f"all {len(rows)} worker counts byte-identical "
+          f"(digest {baseline['digest']})")
+    for row in rows:
+        print(f"  {row['workers']} worker(s): {row['wall_s']:.3f} s "
+              f"({row['speedup']}x)")
+
+    write_report(
+        args.out,
+        benchmark="shards-scaling",
+        engine=args.engine,
+        wall_s=wall,
+        results=rows,
+        scenario=args.scenario,
+        seed=args.seed,
+        events=events,
+        host_cpus=os.cpu_count(),
+        lookahead_ns=lookahead,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

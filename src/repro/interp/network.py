@@ -120,6 +120,35 @@ class SwitchStats:
             return 0.0
         return self.recirculated_bytes * 8 / (duration_ns * 1e-9)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form; round-trips through :meth:`from_dict`
+        (used by :meth:`Network.snapshot` and the shard worker transport)."""
+        return {
+            "events_handled": self.events_handled,
+            "events_generated": self.events_generated,
+            "recirculations": self.recirculations,
+            "recirculated_bytes": self.recirculated_bytes,
+            "remote_sends": self.remote_sends,
+            "drops": self.drops,
+            "link_drops": self.link_drops,
+            "recirc_drops": self.recirc_drops,
+            "handled_by_event": dict(self.handled_by_event),
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "SwitchStats":
+        return cls(
+            events_handled=state["events_handled"],
+            events_generated=state["events_generated"],
+            recirculations=state["recirculations"],
+            recirculated_bytes=state["recirculated_bytes"],
+            remote_sends=state["remote_sends"],
+            drops=state["drops"],
+            link_drops=state["link_drops"],
+            recirc_drops=state["recirc_drops"],
+            handled_by_event=dict(state["handled_by_event"]),
+        )
+
 
 class Switch:
     """One Lucid switch: a program instance plus its runtime state.
@@ -157,6 +186,10 @@ class Switch:
         self.interpreter = self.engine.executor
         self.stats = SwitchStats()
         self.log: List[str] = []
+        #: push counter for events generated *by* this switch — the low bits
+        #: of their deterministic heap keys (see the _QueuedEvent comment)
+        self.origin_seq = 0
+        self._key_base = (switch_id + 1) << GEN_KEY_SHIFT
 
     @property
     def fast_path(self) -> bool:
@@ -170,10 +203,32 @@ class Switch:
         self.runtime.bind_extern(name, fn)
 
 
-# queue entries are plain tuples (time_ns, serial, switch_id, event): the heap
-# compares them at C speed, and the serial field breaks time ties
-# deterministically before the (incomparable) event is ever inspected
+# queue entries are plain tuples (time_ns, key, switch_id, event): the heap
+# compares them at C speed, and the key field breaks time ties
+# deterministically before the (incomparable) event is ever inspected.
+#
+# The key is *content-derived*, not execution-order-derived, so the same
+# seed produces the same pop order no matter how the network is executed —
+# in one process or partitioned across shard workers (repro.shard):
+#
+# * externally pushed entries (inject(), re-queued control actions) use a
+#   small network-level serial, always < 2**GEN_KEY_SHIFT;
+# * generated events use ``((origin_switch + 1) << GEN_KEY_SHIFT) | seq``
+#   where ``seq`` is the origin switch's push counter
+#   (:attr:`Switch.origin_seq`) — computable locally by whichever shard
+#   owns the origin switch.
+#
+# Externals therefore always win time ties against generated events
+# (matching the streaming drain's "source item first" rule), and two
+# generated events order by (origin switch, per-origin push order).  Both
+# are exactly reproducible across any shard partitioning: an event's key
+# depends only on dispatches at strictly earlier timestamps (all scheduling
+# latencies are positive), so induction over timestamps gives one global
+# (time, key) order.
 _QueuedEvent = Tuple[int, int, int, EventInstance]
+
+#: bit position splitting external serial keys from generated-event keys
+GEN_KEY_SHIFT = 40
 
 #: sentinel "switch id" for control actions in a streaming event source: an
 #: item ``(time_ns, CONTROL, fn)`` calls ``fn(network)`` at ``time_ns`` instead
@@ -188,7 +243,9 @@ SourceItem = Tuple[int, int, Union[EventInstance, Callable[["Network"], None]]]
 #: version whenever a field is added/changed so stale checkpoints are
 #: refused instead of silently misread
 SNAPSHOT_FORMAT = "repro-network-snapshot"
-SNAPSHOT_VERSION = 1
+# version 2: heap keys are content-derived (external serial / origin-switch
+# composite — see _QueuedEvent) and each switch records its ``origin_seq``
+SNAPSHOT_VERSION = 2
 
 
 @dataclass
@@ -234,6 +291,14 @@ class Network:
         #: the streaming source of the last interrupted :meth:`run`, if it
         #: was left partially consumed (guards :meth:`reset`, see there)
         self._partial_source: Optional[Iterable[SourceItem]] = None
+        #: key of the heap entry behind the event most recently handed to
+        #: ``on_handle``/:attr:`trace` (None for streamed source items) —
+        #: lets shard workers reconstruct the global dispatch order
+        self._last_pop_key: Optional[int] = None
+        #: shard mode (see :meth:`set_shard`): the set of switch ids this
+        #: process owns, and the export callback for events bound elsewhere
+        self._shard_owned: Optional[frozenset] = None
+        self._shard_export: Optional[Callable[[int, int, int, EventInstance], None]] = None
 
     @property
     def fast_path(self) -> bool:
@@ -311,9 +376,30 @@ class Network:
             raise SimulationError(f"no switch with id {switch_id}") from None
 
     # -- scheduling -------------------------------------------------------------
-    def _push(self, time_ns: int, switch_id: int, event: EventInstance) -> None:
-        self._serial += 1
-        heapq.heappush(self._queue, (time_ns, self._serial, switch_id, event))
+    def _push(
+        self,
+        time_ns: int,
+        switch_id: int,
+        event: EventInstance,
+        key: Optional[int] = None,
+    ) -> None:
+        """Queue ``event`` for ``switch_id`` at ``time_ns``.
+
+        ``key`` is the deterministic tie-break key (see the _QueuedEvent
+        comment).  Callers scheduling *generated* events pass the origin
+        switch's content-derived key; external pushes leave it None and get
+        the next network-level serial.  In shard mode, events bound for a
+        switch another worker owns are handed to the export callback instead
+        of entering the local heap.
+        """
+        if key is None:
+            self._serial += 1
+            key = self._serial
+        if self._shard_owned is not None and switch_id != CONTROL:
+            if switch_id not in self._shard_owned:
+                self._shard_export(time_ns, key, switch_id, event)
+                return
+        heapq.heappush(self._queue, (time_ns, key, switch_id, event))
 
     def inject(self, switch_id: int, event: EventInstance, at_ns: Optional[int] = None) -> None:
         """Inject an event (e.g. the arrival of a data packet) from outside."""
@@ -321,6 +407,41 @@ class Network:
             raise SimulationError(f"no switch with id {switch_id}")
         time_ns = self.now_ns if at_ns is None else at_ns
         self._push(max(time_ns, self.now_ns), switch_id, event)
+
+    # -- sharding ----------------------------------------------------------------
+    def set_shard(
+        self,
+        owned: Optional[Iterable[int]],
+        export: Optional[Callable[[int, int, int, EventInstance], None]] = None,
+    ) -> None:
+        """Put the network in shard-worker mode (or leave it: ``owned=None``).
+
+        ``owned`` is the set of switch ids this process executes; any event
+        scheduled for a switch outside it is routed to ``export(time_ns, key,
+        switch_id, event)`` instead of the local heap.  The owning worker
+        re-injects such events verbatim via :meth:`enqueue_remote`, so the
+        merged heap order across all shards equals the single-process order
+        (keys are content-derived — see the _QueuedEvent comment).  Used by
+        :mod:`repro.shard`; link-failure state is global, so control actions
+        must be replayed on every shard.
+        """
+        if owned is None:
+            self._shard_owned = None
+            self._shard_export = None
+            return
+        if export is None:
+            raise SimulationError("set_shard: an export callback is required")
+        self._shard_owned = frozenset(owned)
+        self._shard_export = export
+
+    def enqueue_remote(
+        self, time_ns: int, key: int, switch_id: int, event: EventInstance
+    ) -> None:
+        """Deliver an event exported by another shard, preserving the exact
+        heap key it would have carried in a single-process run.  The barrier
+        protocol guarantees ``time_ns`` is still in this shard's future, so
+        no clock clamping is applied."""
+        heapq.heappush(self._queue, (time_ns, key, switch_id, event))
 
     def _delay_after_queue(self, delay_ns: int) -> int:
         """Delay actually experienced when using the pausable delay queue: the
@@ -394,7 +515,8 @@ class Network:
                 source=source.id,
                 trace_parent=trace_parent,
             )
-            self._push(arrival, target, delivered)
+            source.origin_seq += 1
+            self._push(arrival, target, delivered, source._key_base | source.origin_seq)
 
     # -- execution -----------------------------------------------------------------
     def _dispatch(self, switch: Switch, event: EventInstance) -> ExecutionResult:
@@ -447,7 +569,8 @@ class Network:
         """Execute the next pending event; return its trace entry (or None)."""
         if not self._queue:
             return None
-        time_ns, _, switch_id, event = heapq.heappop(self._queue)
+        time_ns, key, switch_id, event = heapq.heappop(self._queue)
+        self._last_pop_key = key
         self.now_ns = max(self.now_ns, time_ns)
         if switch_id == CONTROL:
             # a control action re-queued by an interrupted streaming run
@@ -672,6 +795,8 @@ class Network:
                 if switch is None:
                     raise SimulationError(f"no switch with id {switch_id}")
                 event = payload
+                if traced:
+                    self._last_pop_key = None
             elif queue:
                 top_ns = queue[0][0]
                 if until_ns is not None and top_ns > until_ns:
@@ -683,7 +808,9 @@ class Network:
                     and top_ns > last_source_ns
                 ):
                     break
-                time_ns, _, switch_id, event = heapq.heappop(queue)
+                time_ns, pop_key, switch_id, event = heapq.heappop(queue)
+                if traced:
+                    self._last_pop_key = pop_key
                 if time_ns > self.now_ns:
                     self.now_ns = time_ns
                 if switch_id == CONTROL:
@@ -794,21 +921,21 @@ class Network:
         leave CONTROL entries in the heap.)
         """
         queue = []
-        for time_ns, serial, switch_id, event in self._queue:
+        for time_ns, key, switch_id, event in self._queue:
             if switch_id == CONTROL:
                 raise SimulationError(
                     "cannot snapshot: the event heap holds a CONTROL action "
                     "(a Python callable).  Drain it first, or stream control "
                     "actions through a push_back-capable source."
                 )
-            queue.append([time_ns, serial, switch_id, event.to_dict()])
+            queue.append([time_ns, key, switch_id, event.to_dict()])
         switches: Dict[str, Dict[str, object]] = {}
         for sid in sorted(self.switches):
             sw = self.switches[sid]
-            stats = sw.stats
             entry: Dict[str, object] = {
                 "engine": sw.engine_name,
                 "time_ns": sw.runtime.time_ns,
+                "origin_seq": sw.origin_seq,
                 "random_state": sw.runtime.random_state,
                 "arrays": {
                     name: {
@@ -818,17 +945,7 @@ class Network:
                     }
                     for name, arr in sw.runtime.arrays.items()
                 },
-                "stats": {
-                    "events_handled": stats.events_handled,
-                    "events_generated": stats.events_generated,
-                    "recirculations": stats.recirculations,
-                    "recirculated_bytes": stats.recirculated_bytes,
-                    "remote_sends": stats.remote_sends,
-                    "drops": stats.drops,
-                    "link_drops": stats.link_drops,
-                    "recirc_drops": stats.recirc_drops,
-                    "handled_by_event": dict(stats.handled_by_event),
-                },
+                "stats": sw.stats.to_dict(),
                 "log": list(sw.log),
             }
             engine_state = sw.engine.snapshot_state()
@@ -897,11 +1014,11 @@ class Network:
         self.now_ns = state["now_ns"]
         self._serial = state["serial"]
         # the stored list is the heap's exact internal order — restoring it
-        # verbatim keeps the pop sequence identical (serials are unique, so
+        # verbatim keeps the pop sequence identical (keys are unique, so
         # comparisons never reach the event objects)
         self._queue = [
-            (time_ns, serial, switch_id, EventInstance.from_dict(event))
-            for time_ns, serial, switch_id, event in state["queue"]
+            (time_ns, key, switch_id, EventInstance.from_dict(event))
+            for time_ns, key, switch_id, event in state["queue"]
         ]
         self._down_links = {
             (a, b): count for a, b, count in state.get("down_links", [])
@@ -911,6 +1028,7 @@ class Network:
         for sid_key, sw_state in state["switches"].items():
             sw = self.switches[int(sid_key)]
             sw.runtime.time_ns = sw_state["time_ns"]
+            sw.origin_seq = sw_state["origin_seq"]
             sw.runtime.random_state = sw_state["random_state"]
             for name, arr_state in sw_state["arrays"].items():
                 arr = sw.runtime.arrays[name]
@@ -920,18 +1038,7 @@ class Network:
                 arr.cells[:] = arr_state["cells"]
                 arr.reads = arr_state["reads"]
                 arr.writes = arr_state["writes"]
-            stats = sw_state["stats"]
-            sw.stats = SwitchStats(
-                events_handled=stats["events_handled"],
-                events_generated=stats["events_generated"],
-                recirculations=stats["recirculations"],
-                recirculated_bytes=stats["recirculated_bytes"],
-                remote_sends=stats["remote_sends"],
-                drops=stats["drops"],
-                link_drops=stats["link_drops"],
-                recirc_drops=stats["recirc_drops"],
-                handled_by_event=dict(stats["handled_by_event"]),
-            )
+            sw.stats = SwitchStats.from_dict(sw_state["stats"])
             sw.log[:] = sw_state["log"]
             sw.engine.restore_state(sw_state.get("engine_state"))
 
@@ -947,6 +1054,13 @@ class Network:
         objects, not their cells.  Without ``reset()``, consecutive
         :meth:`run` calls *accumulate*: stats, traces, and array state carry
         over (see ``tests/test_scenarios.py``).
+
+        Per-run observers are detached too: an attached tracer, profiler, or
+        ``on_handle`` callback belongs to the run that installed it, and
+        leaving it wired up would
+        leak spans and handler timings from one run (or shard epoch) into the
+        next — the caller re-attaches fresh instances per run, as the
+        scenario runner does.
 
         **Streaming sources do not rewind.**  If the last streaming
         :meth:`run` was interrupted (``max_events``/``until_ns``) and left its
@@ -977,9 +1091,14 @@ class Network:
         self._serial = 0
         self._down_links.clear()
         self.trace.clear()
+        self.tracer = None
+        self.profiler = None
+        self.on_handle = None
+        self._last_pop_key = None
         for switch in self.switches.values():
             switch.stats = SwitchStats()
             switch.log.clear()
+            switch.origin_seq = 0
             switch.runtime.time_ns = 0
             switch.engine.reset()
             if arrays:

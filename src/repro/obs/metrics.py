@@ -366,6 +366,52 @@ class MetricsRegistry:
         for instrument in self._instruments.values():
             instrument.reset()
 
+    # -- cross-process aggregation ----------------------------------------
+    def dump_values(self) -> Dict[str, Dict[str, object]]:
+        """Serialise every instrument's raw values (parents and label
+        children) for transport across a process boundary — the shard
+        workers ship these to the coordinator, which folds them back in
+        with :meth:`merge_values`."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, instrument in self._instruments.items():
+            entry: Dict[str, object] = {"kind": instrument.kind}
+            nodes = [((), instrument)] + [
+                (key, child) for key, child in instrument._children.items()
+            ]
+            values = {}
+            for key, node in nodes:
+                if node.kind == "histogram":
+                    values[key] = (list(node._counts), node._sum, node._count)
+                else:
+                    values[key] = node._value
+            entry["values"] = values
+            out[name] = entry
+        return out
+
+    def merge_values(self, dump: Dict[str, Dict[str, object]]) -> None:
+        """Fold a worker's :meth:`dump_values` into this registry: counters
+        and histograms add, gauges keep the max (they are point-in-time
+        levels — heap depth, sim clock — where the fleet-wide peak is the
+        meaningful aggregate).  Unknown instruments are skipped (the worker
+        may have registered metrics this process never imported).  Mutates
+        raw values directly, so it works with the registry disabled."""
+        for name, entry in dump.items():
+            instrument = self._instruments.get(name)
+            if instrument is None or instrument.kind != entry["kind"]:
+                continue
+            for key, value in entry["values"].items():
+                node = instrument if key == () else instrument.labels(*key)
+                if node.kind == "histogram":
+                    counts, total, count = value
+                    if len(counts) == len(node._counts):
+                        node._counts = [a + b for a, b in zip(node._counts, counts)]
+                        node._sum += total
+                        node._count += count
+                elif node.kind == "counter":
+                    node._value += value
+                else:  # gauge
+                    node._value = max(node._value, value)
+
     # -- exposition -------------------------------------------------------
     def render_text(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""

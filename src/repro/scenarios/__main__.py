@@ -6,6 +6,7 @@
     python -m repro.scenarios run <name> [--events N] [--seed S]
                                   [--engine reference|compiled|pisa]
                                   [--all-engines | --both]
+                                  [--shards N] [--shard-engines E1,E2,...]
                                   [--trace PATH] [--profile] [--metrics]
                                   [--json PATH] [--quiet]
     python -m repro.scenarios serve <name> [--events N | --unbounded]
@@ -32,6 +33,13 @@ with ``--both``/``--all-engines`` one file per engine is written
 ``--profile`` prints a top-N hot-handler report (plus per-PISA-stage rows);
 ``--metrics`` enables the global metrics registry and dumps its Prometheus
 text exposition after the run.
+
+``--shards N`` partitions the topology over N worker processes under the
+conservative-lookahead barrier (see :mod:`repro.shard`); results are
+byte-identical to ``--shards 1``.  ``--shard-engines`` optionally names one
+engine per shard (comma-separated).  Sharding composes with ``--metrics``
+(worker registries are merged) but not with ``--trace``/``--profile`` or
+``--both``/``--all-engines``.
 
 ``serve`` runs the scenario as a long-lived process: traffic streams in
 bounded chunks, JSON-lines telemetry goes to ``--telemetry`` (stderr by
@@ -259,6 +267,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run ALL engines "
                         f"({', '.join(ENGINE_NAMES)}) and "
                         "require identical verdicts and final array states")
+    run_parser.add_argument("--shards", type=int, default=1,
+                            help="partition the topology over N worker "
+                            "processes (default 1: in-process)")
+    run_parser.add_argument("--shard-engines", type=str, default="",
+                            help="comma-separated engine name per shard "
+                            "(requires --shards N with matching N)")
     run_parser.add_argument("--dump-source", action="store_true",
                             help="print the Python source the codegen engine "
                             "generates for the scenario's application, then "
@@ -377,6 +391,35 @@ def _run(args, scenario) -> int:
         from repro.obs import Tracer
 
         tracer_factory = lambda engine_name: Tracer(seed=args.seed)  # noqa: E731
+
+    if args.shards > 1 or args.shard_engines:
+        if args.both or args.all_engines:
+            print("--shards does not compose with --both/--all-engines")
+            return 2
+        if args.trace or args.profile:
+            print("--shards does not support --trace/--profile (the tracer "
+                  "and profiler attach to a single in-process network)")
+            return 2
+        from repro.shard import run_sharded
+
+        shard_engines = None
+        if args.shard_engines:
+            shard_engines = [s.strip() for s in args.shard_engines.split(",")]
+        engine_name = args.engine or ("reference" if args.reference else "compiled")
+        result = run_sharded(
+            scenario, args.events, args.seed, args.shards,
+            engine=engine_name, engines=shard_engines,
+        )
+        _print_result(result, args.quiet)
+        if args.metrics:
+            from repro.obs import REGISTRY
+
+            print(REGISTRY.render_text(), end="")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result.to_dict(), fh, indent=2)
+            print(f"wrote {args.json}")
+        return 0 if result.ok else 1
 
     results: List[ScenarioResult] = []
     if args.both or args.all_engines:

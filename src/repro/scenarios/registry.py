@@ -22,7 +22,7 @@ from repro.apps import ALL_APPLICATIONS
 from repro.control import ControlPlaneConfig, RemoteController
 from repro.interp.events import EventInstance
 from repro.interp.interpreter import lucid_hash
-from repro.interp.network import Network, SourceItem
+from repro.interp.network import Network, SchedulerConfig, SourceItem
 from repro.scenarios import topology as topo
 from repro.scenarios import traffic as tm
 from repro.scenarios.invariants import (
@@ -120,6 +120,40 @@ register(
         "a 20-switch k=4 fat-tree; per-switch sketch invariants must hold "
         "everywhere.",
         build=_build_heavy_hitter(topo.fat_tree(4)),
+    )
+)
+
+
+def _build_heavy_hitter_fattree8(events: int, seed: int) -> ScenarioSetup:
+    # WAN-scale link latencies (50 us) give the shard barrier a generous
+    # conservative lookahead — config.link_latency_ns must match the
+    # topology's, since undeclared switch pairs deliver at the config default
+    topology = topo.fat_tree(8, latency_ns=50_000)
+    config = SchedulerConfig(link_latency_ns=50_000)
+    traffic = tm.ZipfPacketTraffic(
+        event_name="pkt", hosts=4096, alpha=1.2, mean_gap_ns=200
+    )
+    return ScenarioSetup(
+        topology=topology,
+        make_network=lambda engine: topology.build_network(
+            _app_source("CM"), config=config, engine=engine, name="CM"
+        ),
+        traffic=lambda: traffic.events(topology.edge, events, seed),
+        invariants=_app_invariants("CM") + [SketchOverestimates(traffic)],
+        settle_ns=200_000,
+    )
+
+
+register(
+    Scenario(
+        name="heavy-hitter-fattree8",
+        title="Zipf heavy hitters, k=8 fat-tree (shard-scale)",
+        app_key="CM",
+        topology="fattree-8",
+        description="The Zipf mix sprayed across the 32 edge switches of an "
+        "80-switch k=8 fat-tree with 50 us WAN links — the sharded-execution "
+        "benchmark workload (8 pods split cleanly across worker processes).",
+        build=_build_heavy_hitter_fattree8,
     )
 )
 

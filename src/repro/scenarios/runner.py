@@ -133,6 +133,39 @@ class ScenarioResult:
             **({"profile": self.profile} if self.profile else {}),
         }
 
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output (worker→coordinator
+        transport, JSON archives).  ``switch_stats`` and the attached tracer
+        are not part of the dict form and come back empty/None; the float
+        fields carry the dict's rounding."""
+        return cls(
+            scenario=state["scenario"],
+            engine=state["engine"],
+            seed=state["seed"],
+            events_injected=state["events_injected"],
+            events_handled=state["events_handled"],
+            sim_ns=state["sim_ns"],
+            wall_s=state["wall_s"],
+            setup_s=state.get("setup_s", 0.0),
+            traffic_s=state.get("traffic_s", 0.0),
+            events_per_sec=state["events_per_sec"],
+            invariants=[
+                InvariantReport(
+                    name=r["name"],
+                    ok=r["ok"],
+                    violations=r["violations"],
+                    messages=list(r["messages"]),
+                )
+                for r in state["invariants"]
+            ],
+            switch_stats={},
+            array_digest=state["array_digest"],
+            details=dict(state.get("details") or {}),
+            pipeline_totals=dict(state.get("pipeline") or {}),
+            profile=dict(state.get("profile") or {}),
+        )
+
 
 #: the runner's source wrapper is the service-mode replayable cursor (the
 #: old name is kept as an alias); it still counts injected events and the

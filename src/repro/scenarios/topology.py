@@ -31,6 +31,12 @@ class Topology:
     links: List[Tuple[int, int, int]] = field(default_factory=list)
     #: switches where external traffic enters (all switches if unset)
     edge: List[int] = field(default_factory=list)
+    #: locality groups for shard partitioning (``repro.shard``): disjoint
+    #: lists of switch ids that should stay in one shard (e.g. a fat-tree
+    #: pod's edge+agg switches).  Switches in no group (cores, spines) are
+    #: placed by the partitioner.  None → no locality structure; the
+    #: partitioner falls back to contiguous id ranges.
+    pods: Optional[List[List[int]]] = None
 
     def __post_init__(self) -> None:
         if not self.edge:
@@ -192,6 +198,9 @@ def leaf_spine(leaves: int, spines: int, latency_ns: int = 1_000) -> Topology:
         num_switches=leaves + spines,
         links=links,
         edge=list(range(leaves)),
+        # each leaf is its own locality group; spines are placed by the
+        # partitioner (they talk to every leaf equally)
+        pods=[[leaf] for leaf in range(leaves)],
     )
 
 
@@ -227,4 +236,10 @@ def fat_tree(k: int, latency_ns: int = 1_000) -> Topology:
         num_switches=num_edge + num_agg + num_core,
         links=links,
         edge=list(range(num_edge)),
+        # one locality group per pod (its edge + aggregation switches);
+        # cores sit between pods and are placed by the partitioner
+        pods=[
+            [edge_id(pod, i) for i in range(half)] + [agg_id(pod, j) for j in range(half)]
+            for pod in range(k)
+        ],
     )

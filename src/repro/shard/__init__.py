@@ -1,0 +1,19 @@
+"""Sharded multiprocess network execution.
+
+Partitions a topology across worker processes (one shard per fat-tree /
+leaf-spine pod group), runs each shard's switches with the ordinary
+:class:`~repro.interp.network.Network` streaming drain, and exchanges
+cross-shard events in timestamp-bucketed batches under a conservative
+lookahead barrier — every shard only advances to ``t + lookahead`` once all
+peers have flushed their events ``<= t``.
+
+Determinism is exact, not statistical: heap tie-break keys are
+content-derived (see ``interp/network.py``), so the same seed produces
+byte-identical per-switch array digests, stats, and invariant verdicts as
+the single-process run, for any shard count and any per-shard engine mix.
+"""
+
+from repro.shard.partition import ShardPlan, partition_topology
+from repro.shard.coordinator import run_sharded
+
+__all__ = ["ShardPlan", "partition_topology", "run_sharded"]

@@ -446,6 +446,7 @@ class TestInvariantRegistry:
 SMOKE_EVENTS = {
     "heavy-hitter-single": 2_000,
     "heavy-hitter-fattree": 2_000,
+    "heavy-hitter-fattree8": 2_000,
     "sfw-scan-burst": 1_500,
     "sfw-install-latency": 1_000,
     "dns-reflection": 1_500,
